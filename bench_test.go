@@ -1,0 +1,219 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls
+// out. Each benchmark reports the headline quantity of its experiment
+// via b.ReportMetric, so `go test -bench=. -benchmem` reprints the
+// paper's results. cmd/hackbench prints the same data as full tables.
+package tcphack
+
+import (
+	"testing"
+
+	"tcphack/internal/experiments"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/sim"
+)
+
+// benchOpts keeps per-iteration cost moderate; results stabilize at
+// these windows (the paper used 120 s runs; goodput differences
+// already resolve in a few simulated seconds of steady state).
+var benchOpts = experiments.Options{
+	Warmup:  2 * sim.Second,
+	Measure: 3 * sim.Second,
+	Runs:    1,
+	Seed:    1,
+}
+
+func BenchmarkFig1aTheory(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1a()
+		gain = rows[len(rows)-1].GainPct
+	}
+	b.ReportMetric(gain, "gain@54Mbps_%")
+}
+
+func BenchmarkFig1bTheory(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1b()
+		gain = rows[len(rows)-1].GainPct
+	}
+	b.ReportMetric(gain, "gain@600Mbps_%")
+}
+
+func BenchmarkFig9SoRa(b *testing.B) {
+	var hackGain float64
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Fig9(benchOpts)
+		var hck, tcp float64
+		for _, c := range cells {
+			if c.Clients == 1 {
+				switch c.Protocol {
+				case "HACK":
+					hck = c.TotalMbps
+				case "TCP":
+					tcp = c.TotalMbps
+				}
+			}
+		}
+		hackGain = (hck - tcp) / tcp * 100
+	}
+	b.ReportMetric(hackGain, "hack_gain_%")
+}
+
+func BenchmarkTable1Retries(b *testing.B) {
+	var tcpNoRetry, hackNoRetry float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range experiments.Fig9(benchOpts) {
+			if c.Clients == 2 {
+				switch c.Protocol {
+				case "HACK":
+					hackNoRetry = c.NoRetryPct
+				case "TCP":
+					tcpNoRetry = c.NoRetryPct
+				}
+			}
+		}
+	}
+	b.ReportMetric(tcpNoRetry, "tcp_noretry_%")
+	b.ReportMetric(hackNoRetry, "hack_noretry_%")
+}
+
+func BenchmarkTable2Compression(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchOpts, 8<<20)
+		ratio = rows[1].CompressionRatio
+	}
+	b.ReportMetric(ratio, "compression_x")
+}
+
+func BenchmarkTable3TimeBreakdown(b *testing.B) {
+	var tcpChannelMs, hackChannelMs float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(benchOpts, 8<<20)
+		tcpChannelMs = rows[0].Breakdown.ChannelWait.Millis()
+		hackChannelMs = rows[1].Breakdown.ChannelWait.Millis()
+	}
+	b.ReportMetric(tcpChannelMs, "tcp_chan_ms")
+	b.ReportMetric(hackChannelMs, "hack_chan_ms")
+}
+
+func BenchmarkCrossValidation(b *testing.B) {
+	var recoveredGap float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CrossValidation(benchOpts)
+		r := rows[0]
+		recoveredGap = r.IdealMbps - r.RecoveredMbps
+	}
+	b.ReportMetric(recoveredGap, "residual_gap_mbps")
+}
+
+func BenchmarkFig10Multiclient(b *testing.B) {
+	var gain1, gain4 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10(benchOpts, []int{1, 4})
+		for _, r := range rows {
+			if r.Protocol == "HACK MoreData" {
+				if r.Clients == 1 {
+					gain1 = r.GainOverTCPPct
+				} else {
+					gain4 = r.GainOverTCPPct
+				}
+			}
+		}
+	}
+	b.ReportMetric(gain1, "gain_1client_%")
+	b.ReportMetric(gain4, "gain_4clients_%")
+}
+
+func BenchmarkFig11SNR(b *testing.B) {
+	opts := benchOpts
+	opts.Warmup, opts.Measure = sim.Second, sim.Second
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(opts, []float64{5, 15, 25}, nil)
+		mean = res.MeanImprovementPct
+	}
+	b.ReportMetric(mean, "mean_improvement_%")
+}
+
+func BenchmarkFig12TheoryVsSim(b *testing.B) {
+	var simGain, theoGain float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(benchOpts, nil)
+		top := rows[len(rows)-1]
+		simGain, theoGain = top.SimGainPct, top.TheoGainPct
+	}
+	b.ReportMetric(simGain, "sim_gain_%")
+	b.ReportMetric(theoGain, "theory_gain_%")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func ablationRun(b *testing.B, mutate func(*node.Config)) float64 {
+	cfg := Scenario80211n(ModeMoreData, 1)
+	mutate(&cfg)
+	n := node.New(cfg)
+	f := n.StartDownload(0, 0, 0)
+	n.Run(benchOpts.Warmup)
+	f.Goodput.MarkWindow(n.Sched.Now())
+	n.Run(benchOpts.Warmup + benchOpts.Measure)
+	return f.Goodput.WindowMbps(n.Sched.Now())
+}
+
+// BenchmarkAblationHoldPolicy compares the three holding policies from
+// §3.2 head to head.
+func BenchmarkAblationHoldPolicy(b *testing.B) {
+	var more, opp, timer float64
+	for i := 0; i < b.N; i++ {
+		more = ablationRun(b, func(c *node.Config) { c.Mode = hack.ModeMoreData })
+		opp = ablationRun(b, func(c *node.Config) { c.Mode = hack.ModeOpportunistic })
+		timer = ablationRun(b, func(c *node.Config) { c.Mode = hack.ModeTimer })
+	}
+	b.ReportMetric(more, "moredata_mbps")
+	b.ReportMetric(opp, "opportunistic_mbps")
+	b.ReportMetric(timer, "timer_mbps")
+}
+
+// BenchmarkAblationAggregation quantifies how much of HACK's edge
+// survives without A-MPDU batching (the 802.11a-style MAC).
+func BenchmarkAblationAggregation(b *testing.B) {
+	var withAgg, withoutAgg float64
+	for i := 0; i < b.N; i++ {
+		withAgg = ablationRun(b, func(c *node.Config) {})
+		withoutAgg = ablationRun(b, func(c *node.Config) { c.Aggregation = false })
+	}
+	b.ReportMetric(withAgg, "aggregated_mbps")
+	b.ReportMetric(withoutAgg, "single_mpdu_mbps")
+}
+
+// BenchmarkAblationTXOP explores the §5 observation that tighter TXOP
+// limits raise HACK's relative value by shrinking batches.
+func BenchmarkAblationTXOP(b *testing.B) {
+	var txop4ms, txop1ms float64
+	for i := 0; i < b.N; i++ {
+		txop4ms = ablationRun(b, func(c *node.Config) {})
+		txop1ms = ablationRun(b, func(c *node.Config) { c.TXOPLimit = sim.Millisecond })
+	}
+	b.ReportMetric(txop4ms, "txop4ms_mbps")
+	b.ReportMetric(txop1ms, "txop1ms_mbps")
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator throughput: a
+// saturated 10-client 802.11n network's events per wall second.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := Scenario80211n(ModeMoreData, 10)
+		n := node.New(cfg)
+		for ci := 0; ci < 10; ci++ {
+			n.StartDownload(ci, 0, 0)
+		}
+		n.Run(sim.Second)
+		events = n.Sched.EventsFired()
+	}
+	b.ReportMetric(float64(events), "events/simsec")
+}

@@ -1,0 +1,177 @@
+// Command hackbench regenerates the paper's tables and figures as
+// text. With no flags it runs everything at the default (quick)
+// durations; -all with -measure/-runs scales up toward the paper's
+// full methodology.
+//
+// Usage:
+//
+//	hackbench                    # everything, quick
+//	hackbench -fig 10            # one figure
+//	hackbench -table 2           # one table
+//	hackbench -xval              # §4.2 cross-validation
+//	hackbench -measure 10s -runs 5 -fig 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tcphack/internal/experiments"
+	"tcphack/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1a, 1b, 9, 10, 11, 12 (empty = all)")
+	table := flag.Int("table", 0, "table to regenerate: 1, 2, 3 (0 = all)")
+	xval := flag.Bool("xval", false, "run only the §4.2 cross-validation")
+	measure := flag.Duration("measure", 3*time.Second, "steady-state measurement window (simulated)")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup before measurement (simulated)")
+	runs := flag.Int("runs", 1, "repetitions to average (paper used 5)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	o := experiments.Options{
+		Warmup:  sim.Duration(*warmup),
+		Measure: sim.Duration(*measure),
+		Runs:    *runs,
+		Seed:    *seed,
+	}
+
+	all := *fig == "" && *table == 0 && !*xval
+	did := false
+	run := func(name string, want bool, f func()) {
+		if !(all || want) {
+			return
+		}
+		did = true
+		fmt.Printf("==================== %s ====================\n", name)
+		f()
+		fmt.Println()
+	}
+
+	run("Figure 1(a): theoretical goodput, 802.11a", *fig == "1a", func() { fig1a() })
+	run("Figure 1(b): theoretical goodput, 802.11n", *fig == "1b", func() { fig1b() })
+	run("Figure 9 + Table 1: SoRa testbed", *fig == "9" || *table == 1, func() { fig9(o) })
+	run("Table 2: ACK accounting (fixed transfer)", *table == 2, func() { table2(o) })
+	run("Table 3: TCP ACK time breakdown", *table == 3, func() { table3(o) })
+	run("§4.2 cross-validation (ideal vs SoRa mode)", *xval, func() { xvalRun(o) })
+	run("Figure 10: multi-client 802.11n", *fig == "10", func() { fig10(o) })
+	run("Figure 11: SNR sweep envelopes", *fig == "11", func() { fig11(o) })
+	run("Figure 12: theory vs simulation", *fig == "12", func() { fig12(o) })
+
+	if !did {
+		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
+		os.Exit(2)
+	}
+}
+
+func fig1a() {
+	fmt.Printf("%-8s %10s %10s %10s %8s\n", "rate", "TCP", "TCP/HACK", "UDP", "gain")
+	for _, r := range experiments.Fig1a() {
+		fmt.Printf("%-8v %8.1f M %8.1f M %8.1f M %+7.1f%%\n",
+			r.Rate, r.TCPMbps, r.HACKMbps, r.UDPMbps, r.GainPct)
+	}
+	fmt.Println("paper: HACK curve above TCP at every rate; see Fig 1(a).")
+}
+
+func fig1b() {
+	fmt.Printf("%-14s %6s %10s %10s %10s %8s\n", "rate", "batch", "TCP", "TCP/HACK", "UDP", "gain")
+	for _, r := range experiments.Fig1b() {
+		fmt.Printf("%-14v %6d %8.1f M %8.1f M %8.1f M %+7.1f%%\n",
+			r.Rate, r.BatchMPDUs, r.TCPMbps, r.HACKMbps, r.UDPMbps, r.GainPct)
+	}
+	fmt.Println("paper: ≈8% average gain < 100 Mbps, ≈20% at 600 Mbps.")
+}
+
+func fig9(o experiments.Options) {
+	cells := experiments.Fig9(o)
+	fmt.Printf("%-6s %-8s %14s %14s %12s\n", "proto", "clients", "per-client", "total Mbps", "no-retry %")
+	for _, c := range cells {
+		per := ""
+		for i, v := range c.PerClientMbps {
+			if i > 0 {
+				per += "/"
+			}
+			per += fmt.Sprintf("%.1f", v)
+		}
+		fmt.Printf("%-6s %-8d %14s %14.1f %12.1f\n", c.Protocol, c.Clients, per, c.TotalMbps, c.NoRetryPct)
+	}
+	fmt.Println("paper Fig 9: UDP 26.5, HACK 25.0, TCP 19.4 Mbps (1 client);")
+	fmt.Println("paper Tab 1: no-retry 99% UDP / 97-98% HACK / 86-88% TCP.")
+}
+
+func table2(o experiments.Options) {
+	rows := experiments.Table2(o, 25<<20)
+	fmt.Printf("%-18s %10s %12s %10s %12s %8s\n",
+		"protocol", "ACK count", "ACK bytes", "ACKC cnt", "ACKC bytes", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-18s %10d %12d %10d %12d %8.1f\n",
+			r.Protocol, r.NativeAcks, r.NativeAckBytes, r.CompressedAcks, r.CompressedBytes, r.CompressionRatio)
+	}
+	fmt.Println("paper: 9060/471120 native (TCP) vs 10 native + 9050 compressed/39478 B, ratio 12 (HACK).")
+}
+
+func table3(o experiments.Options) {
+	rows := experiments.Table3(o, 25<<20)
+	fmt.Printf("%-18s %12s %12s %12s %12s\n", "protocol", "TCP-ACK air", "ROHC air", "channel", "LL-ACK ovh")
+	for _, r := range rows {
+		b := r.Breakdown
+		fmt.Printf("%-18s %10.2fms %10.2fms %10.2fms %10.2fms\n",
+			r.Protocol, b.TCPAckAir.Millis(), b.ROHCAir.Millis(), b.ChannelWait.Millis(), b.LLAckOverhead.Millis())
+	}
+	fmt.Println("paper: TCP 70/0/1093/456 ms vs HACK 0.08/13.1/1.17/0.46 ms (25 MB).")
+}
+
+func xvalRun(o experiments.Options) {
+	fmt.Printf("%-8s %12s %12s %14s\n", "proto", "ideal Mbps", "SoRa Mbps", "recovered")
+	for _, r := range experiments.CrossValidation(o) {
+		fmt.Printf("%-8s %12.1f %12.1f %14.1f\n", r.Protocol, r.IdealMbps, r.SoRaModeMbps, r.RecoveredMbps)
+	}
+	fmt.Println("paper: TCP 22.4 ideal vs 19.6 SoRa (22 recovered); HACK 28 vs 25.5 (27.7 recovered).")
+}
+
+func fig10(o experiments.Options) {
+	rows := experiments.Fig10(o, nil)
+	fmt.Printf("%-8s %-16s %14s %8s %10s\n", "clients", "protocol", "aggregate", "stddev", "vs TCP")
+	for _, r := range rows {
+		gain := ""
+		if r.GainOverTCPPct != 0 {
+			gain = fmt.Sprintf("%+.1f%%", r.GainOverTCPPct)
+		}
+		fmt.Printf("%-8d %-16s %12.1f M %8.2f %10s\n", r.Clients, r.Protocol, r.AggregateMbps, r.StdDev, gain)
+	}
+	fmt.Println("paper: MORE DATA HACK gains 15% (1 client) → 22% (10 clients); opportunistic ≈ stock.")
+}
+
+func fig11(o experiments.Options) {
+	res := experiments.Fig11(o, nil, nil)
+	snrs := make([]float64, 0, len(res.EnvelopeTCP))
+	for snr := range res.EnvelopeTCP {
+		snrs = append(snrs, snr)
+	}
+	sort.Float64s(snrs)
+	fmt.Printf("%-8s %14s %14s %10s\n", "SNR dB", "TCP envelope", "HACK envelope", "gain")
+	for _, snr := range snrs {
+		tcp, hck := res.EnvelopeTCP[snr], res.EnvelopeHACK[snr]
+		gain := ""
+		if tcp > 1 {
+			gain = fmt.Sprintf("%+.1f%%", (hck-tcp)/tcp*100)
+		}
+		fmt.Printf("%-8.0f %12.1f M %12.1f M %10s\n", snr, tcp, hck, gain)
+	}
+	fmt.Printf("mean envelope improvement: %.1f%% (paper: 12.6%%)\n", res.MeanImprovementPct)
+}
+
+func fig12(o experiments.Options) {
+	rows := experiments.Fig12(o, nil)
+	fmt.Printf("%-14s %10s %10s %10s %10s %9s %9s\n",
+		"rate", "th TCP", "th HACK", "sim TCP", "sim HACK", "th gain", "sim gain")
+	for _, r := range rows {
+		fmt.Printf("%-14v %8.1f M %8.1f M %8.1f M %8.1f M %+8.1f%% %+8.1f%%\n",
+			r.Rate, r.TheoryTCP, r.TheoryHACK, r.SimTCP, r.SimHACK, r.TheoGainPct, r.SimGainPct)
+	}
+	fmt.Println("paper: simulated gain (14% at 150 Mbps) exceeds the analytical 7% — HACK also removes collisions.")
+}

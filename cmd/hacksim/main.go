@@ -1,0 +1,129 @@
+// Command hacksim runs a single simulated scenario and prints goodput
+// and MAC statistics — the quickest way to poke at the system.
+//
+// Examples:
+//
+//	hacksim                                  # stock TCP, 802.11n, 1 client
+//	hacksim -mode more-data -clients 4
+//	hacksim -phy a54 -mode more-data -sora   # the SoRa testbed model
+//	hacksim -mcs 3 -snr 18                   # lossy mid-rate link
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "off", "HACK mode: off, more-data, opportunistic, timer")
+	phyFlag := flag.String("phy", "ht", "PHY: ht (802.11n) or a54 (802.11a @54)")
+	mcs := flag.Int("mcs", 7, "HT MCS index 0-7 (802.11n)")
+	clients := flag.Int("clients", 1, "number of downloading clients")
+	dur := flag.Duration("dur", 5*time.Second, "simulated duration")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup before the measurement window")
+	snr := flag.Float64("snr", 0, "fixed SNR in dB (0 = lossless channel)")
+	sora := flag.Bool("sora", false, "apply the SoRa testbed artifacts (late LL ACKs, AP sender)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	upload := flag.Bool("upload", false, "upload instead of download")
+	flag.Parse()
+
+	var mode hack.Mode
+	switch *modeFlag {
+	case "off":
+		mode = hack.ModeOff
+	case "more-data":
+		mode = hack.ModeMoreData
+	case "opportunistic":
+		mode = hack.ModeOpportunistic
+	case "timer":
+		mode = hack.ModeTimer
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	cfg := node.Config{Seed: *seed, Mode: mode, Clients: *clients}
+	switch *phyFlag {
+	case "ht":
+		cfg.DataRate = phy.HTRate(*mcs, 1)
+		cfg.AckRate = phy.Rate{}
+		cfg.Aggregation = true
+		cfg.TXOPLimit = 4 * sim.Millisecond
+		cfg.WireRateKbps = 500_000
+	case "a54":
+		cfg.DataRate = phy.RateA54
+		cfg.WireRateKbps = 500_000
+	default:
+		fmt.Fprintf(os.Stderr, "unknown phy %q\n", *phyFlag)
+		os.Exit(2)
+	}
+	if *sora {
+		cfg.AckTurnaround = 37 * sim.Microsecond
+		cfg.AckTimeoutSlack = 80 * sim.Microsecond
+		cfg.WireRateKbps = 0 // AP-resident sender
+	}
+	if *snr != 0 {
+		em := channel.DefaultSNRModel()
+		em.SNROverrideDB = snr
+		cfg.Err = em
+	}
+
+	n := node.New(cfg)
+	for ci := 0; ci < *clients; ci++ {
+		stagger := sim.Duration(ci) * 50 * sim.Millisecond
+		if *upload {
+			n.StartUpload(ci, 0, stagger)
+		} else {
+			n.StartDownload(ci, 0, stagger)
+		}
+	}
+	n.Run(sim.Duration(*warmup))
+	for _, f := range n.Flows {
+		f.Goodput.MarkWindow(n.Sched.Now())
+	}
+	n.Run(sim.Duration(*warmup) + sim.Duration(*dur))
+
+	fmt.Printf("%v  mode=%v  %d client(s)  window=%v\n", cfg.DataRate, mode, *clients, *dur)
+	var total float64
+	for i, f := range n.Flows {
+		mbps := f.Goodput.WindowMbps(n.Sched.Now())
+		total += mbps
+		fmt.Printf("  flow %d (client %d): %7.2f Mbps\n", i, f.Client, mbps)
+	}
+	fmt.Printf("  aggregate:          %7.2f Mbps\n\n", total)
+
+	ap := n.AP.MAC.Stats
+	fmt.Printf("AP MAC: frames=%d mpdus=%d delivered=%d retries=%d expired=%d timeouts=%d bars=%d qdrops=%d\n",
+		ap.FramesSent, ap.MPDUsSent, ap.MPDUsDelivered, ap.Retries, ap.Expired, ap.AckTimeouts, ap.BARsSent, ap.QueueDrops)
+	fmt.Printf("medium: tx=%d collided=%d busy=%.1f%%\n",
+		n.Medium.TxCount, n.Medium.CollidedTx,
+		100*float64(n.Medium.AirtimeBusy)/float64(n.Sched.Now()))
+	if mode != hack.ModeOff {
+		var acct = n.Clients[0].Driver.Acct
+		who := "client0"
+		if *upload {
+			acct = n.AP.Driver.Acct
+			who = "AP"
+		}
+		fmt.Printf("HACK (%s): native=%d compressed=%d (%.1f B/ACK, ratio %.1f) decomp_failures=%d dups=%d\n",
+			who, acct.NativeAcks, acct.CompressedAcks,
+			float64(acct.CompressedBytes)/float64(max(acct.CompressedAcks, 1)),
+			acct.CompressionRatio(),
+			n.DecompFailures(), n.AP.Driver.DecompDuplicates+n.Clients[0].Driver.DecompDuplicates)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+// Analytic: print the paper's Figure 1 capacity curves — the
+// closed-form goodput of TCP, TCP/HACK, and UDP as the PHY rate grows,
+// showing why the MAC's fixed medium-acquisition overhead makes TCP
+// throughput an ever-smaller fraction of the link rate, and how much
+// HACK claws back.
+package main
+
+import (
+	"fmt"
+
+	"tcphack"
+)
+
+func main() {
+	fmt.Println("Figure 1(a): 802.11a")
+	fmt.Printf("%-10s %10s %10s %10s %8s %12s\n", "rate", "TCP", "TCP/HACK", "UDP", "gain", "TCP/PHY eff")
+	for _, r := range tcphack.Fig1a() {
+		fmt.Printf("%-10v %8.1f M %8.1f M %8.1f M %+7.1f%% %11.0f%%\n",
+			r.Rate, r.TCPMbps, r.HACKMbps, r.UDPMbps, r.GainPct, 100*r.TCPMbps/r.Rate.Mbps())
+	}
+	fmt.Println("\nFigure 1(b): 802.11n (single stream shown; sweep continues to 600 Mbps)")
+	fmt.Printf("%-14s %6s %10s %10s %8s\n", "rate", "batch", "TCP", "TCP/HACK", "gain")
+	for _, r := range tcphack.Fig1b() {
+		fmt.Printf("%-14v %6d %8.1f M %8.1f M %+7.1f%%\n",
+			r.Rate, r.BatchMPDUs, r.TCPMbps, r.HACKMbps, r.GainPct)
+	}
+}

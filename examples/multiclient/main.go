@@ -1,0 +1,40 @@
+// Multiclient: the paper's Figure 10 scenario — ten clients download
+// simultaneously through one AP, with staggered starts, comparing
+// stock TCP against TCP/HACK. HACK's gain GROWS with client count
+// because eliminating TCP ACK transmissions removes contenders from
+// the medium entirely.
+package main
+
+import (
+	"fmt"
+
+	"tcphack"
+)
+
+func run(mode tcphack.Mode, clients int) float64 {
+	n := tcphack.NewNetwork(tcphack.Scenario80211n(mode, clients))
+	for ci := 0; ci < clients; ci++ {
+		n.StartDownload(ci, 0, tcphack.Duration(ci)*100*tcphack.Millisecond)
+	}
+	n.Run(3 * tcphack.Second)
+	for _, c := range n.Clients {
+		c.Goodput.MarkWindow(n.Sched.Now())
+	}
+	n.Run(8 * tcphack.Second)
+	var total float64
+	for _, c := range n.Clients {
+		total += c.Goodput.WindowMbps(n.Sched.Now())
+	}
+	return total
+}
+
+func main() {
+	fmt.Printf("%-8s %12s %12s %8s\n", "clients", "stock TCP", "TCP/HACK", "gain")
+	for _, clients := range []int{1, 2, 4, 10} {
+		stock := run(tcphack.ModeOff, clients)
+		hck := run(tcphack.ModeMoreData, clients)
+		fmt.Printf("%-8d %10.1f M %10.1f M %+7.1f%%\n",
+			clients, stock, hck, (hck-stock)/stock*100)
+	}
+	fmt.Println("\npaper Figure 10: gains grow from ≈15% (1 client) to ≈22% (10 clients)")
+}

@@ -1,0 +1,405 @@
+// Package channel models the shared wireless medium: a single
+// collision domain in which every attached radio hears every
+// transmission, overlapping transmissions collide (no capture effect),
+// and non-collided frames are subject to an error model.
+//
+// Error models range from "no loss" through fixed per-link frame loss
+// (used to reproduce the paper's SoRa testbed, which observed 12%/2%
+// loss for stock TCP vs TCP/HACK) to a physical SNR model:
+// log-distance path loss feeding AWGN bit-error-rate curves per
+// modulation, with convolutional-code performance estimated by a
+// Chernoff union bound (the approach of ns-3's NIST error model) —
+// used for the paper's Figure 11 SNR sweep.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+// Pos is a 2-D position in metres.
+type Pos struct{ X, Y float64 }
+
+// DistanceTo returns the Euclidean distance in metres.
+func (p Pos) DistanceTo(q Pos) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Outcome classifies the fate of one frame at one receiver.
+type Outcome int
+
+const (
+	// RxOK means the frame decoded successfully.
+	RxOK Outcome = iota
+	// RxCollided means another transmission overlapped in time.
+	RxCollided
+	// RxCorrupted means channel noise defeated the FEC.
+	RxCorrupted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case RxOK:
+		return "ok"
+	case RxCollided:
+		return "collided"
+	case RxCorrupted:
+		return "corrupted"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Transmission describes one PPDU in flight.
+type Transmission struct {
+	Source   Radio
+	Rate     phy.Rate
+	Length   int // PPDU payload length in bytes
+	Frame    any // opaque MAC frame
+	Start    sim.Time
+	End      sim.Time
+	collided bool
+}
+
+// Duration returns the airtime of the transmission.
+func (t *Transmission) Duration() sim.Duration { return t.End - t.Start }
+
+// Radio is the channel-facing side of a station. The medium invokes
+// CarrierBusy/CarrierIdle as the channel transitions between any
+// activity and silence, and EndRx once per completed transmission from
+// another radio.
+//
+// The medium decides collisions (overlap in time); noise corruption is
+// drawn by the receiver per decoded unit via Medium.Corrupted, so that
+// individual MPDUs inside an A-MPDU fail independently — the property
+// that makes Block ACK selective retransmission meaningful.
+type Radio interface {
+	// Position in metres, for path-loss models.
+	Position() Pos
+	// CarrierBusy is called when the medium goes busy (including the
+	// radio's own transmissions).
+	CarrierBusy()
+	// CarrierIdle is called when the medium goes idle.
+	CarrierIdle()
+	// EndRx delivers a completed transmission and its outcome at this
+	// radio (RxOK or RxCollided). Frames are delivered promiscuously;
+	// MAC-layer address filtering is the receiver's job.
+	EndRx(tx *Transmission, outcome Outcome)
+}
+
+// ErrorModel yields the probability that a non-collided frame is
+// corrupted at a receiver.
+type ErrorModel interface {
+	LossProb(src, dst Radio, rate phy.Rate, length int) float64
+}
+
+// Medium is the broadcast channel. It is driven entirely by the
+// simulation scheduler and is not safe for concurrent use.
+type Medium struct {
+	sched  *sim.Scheduler
+	model  ErrorModel
+	rng    *rand.Rand
+	radios []Radio
+	active map[*Transmission]struct{}
+
+	// Stats.
+	TxCount        uint64
+	CollidedTx     uint64
+	CorruptedRx    uint64
+	DeliveredRx    uint64
+	AirtimeBusy    sim.Duration
+	lastBusyStart  sim.Time
+	busyDepthTotal int
+}
+
+// New creates a medium using the scheduler's clock and a forked random
+// stream. A nil model means a lossless channel.
+func New(sched *sim.Scheduler, model ErrorModel) *Medium {
+	if model == nil {
+		model = NoLoss{}
+	}
+	return &Medium{
+		sched:  sched,
+		model:  model,
+		rng:    sched.ForkRand(),
+		active: make(map[*Transmission]struct{}),
+	}
+}
+
+// Attach registers a radio with the medium.
+func (m *Medium) Attach(r Radio) { m.radios = append(m.radios, r) }
+
+// Busy reports whether any transmission is in flight.
+func (m *Medium) Busy() bool { return len(m.active) > 0 }
+
+// Transmit starts sending frame at rate; the PPDU carries length
+// payload bytes. Completion (and delivery at every other radio) is
+// scheduled automatically. Returns the transmission for tracing.
+func (m *Medium) Transmit(src Radio, rate phy.Rate, length int, frame any) *Transmission {
+	now := m.sched.Now()
+	tx := &Transmission{
+		Source: src,
+		Rate:   rate,
+		Length: length,
+		Frame:  frame,
+		Start:  now,
+		End:    now + phy.FrameDuration(rate, length),
+	}
+	m.TxCount++
+	// Any overlap collides every involved transmission, both ways. A
+	// transmission ending exactly now does not overlap (its finish event
+	// may simply not have run yet at this instant).
+	for other := range m.active {
+		if other.End <= now {
+			continue
+		}
+		if !tx.collided {
+			tx.collided = true
+			m.CollidedTx++
+		}
+		if !other.collided {
+			other.collided = true
+			m.CollidedTx++
+		}
+	}
+	if len(m.active) == 0 {
+		m.lastBusyStart = now
+		for _, r := range m.radios {
+			r.CarrierBusy()
+		}
+	}
+	m.active[tx] = struct{}{}
+	m.sched.At(tx.End, func() { m.finish(tx) })
+	return tx
+}
+
+func (m *Medium) finish(tx *Transmission) {
+	delete(m.active, tx)
+	if len(m.active) == 0 {
+		m.AirtimeBusy += m.sched.Now() - m.lastBusyStart
+	}
+	for _, r := range m.radios {
+		if r == tx.Source {
+			continue
+		}
+		outcome := RxOK
+		if tx.collided {
+			outcome = RxCollided
+		}
+		r.EndRx(tx, outcome)
+	}
+	// Idle notification strictly after deliveries: receivers see the
+	// frame before timers that the idle transition may restart.
+	if len(m.active) == 0 {
+		for _, r := range m.radios {
+			r.CarrierIdle()
+		}
+	}
+}
+
+// Corrupted draws whether a decode unit of length bytes from src
+// fails at dst due to channel noise. Receivers call it once per MPDU
+// of an A-MPDU (independent delimiter-CRC failures) and once per
+// control or unaggregated frame.
+func (m *Medium) Corrupted(src, dst Radio, rate phy.Rate, length int) bool {
+	p := m.model.LossProb(src, dst, rate, length)
+	if p > 0 && m.rng.Float64() < p {
+		m.CorruptedRx++
+		return true
+	}
+	m.DeliveredRx++
+	return false
+}
+
+// NoLoss is the lossless channel.
+type NoLoss struct{}
+
+// LossProb implements ErrorModel.
+func (NoLoss) LossProb(_, _ Radio, _ phy.Rate, _ int) float64 { return 0 }
+
+// FixedLoss applies a constant frame-loss probability per directed
+// link, with a default for unlisted pairs. It reproduces testbed-style
+// loss asymmetry (the paper's Client 1 lost more frames than Client 2).
+type FixedLoss struct {
+	Default float64
+	// PerLink overrides the default for a specific (src,dst) pair.
+	PerLink map[[2]Radio]float64
+}
+
+// SetLink sets the loss probability for frames from src to dst.
+func (f *FixedLoss) SetLink(src, dst Radio, p float64) {
+	if f.PerLink == nil {
+		f.PerLink = make(map[[2]Radio]float64)
+	}
+	f.PerLink[[2]Radio{src, dst}] = p
+}
+
+// LossProb implements ErrorModel.
+func (f *FixedLoss) LossProb(src, dst Radio, _ phy.Rate, _ int) float64 {
+	if p, ok := f.PerLink[[2]Radio{src, dst}]; ok {
+		return p
+	}
+	return f.Default
+}
+
+// GilbertElliott is a two-state bursty loss model: the link flips
+// between a good state (loss pG) and a bad state (loss pB) with the
+// given per-frame transition probabilities. Used for failure-injection
+// tests of HACK's repeated-Block-ACK-loss recovery (paper Figure 8).
+type GilbertElliott struct {
+	PGoodToBad, PBadToGood float64
+	LossGood, LossBad      float64
+	Rng                    *rand.Rand
+
+	bad bool
+}
+
+// LossProb implements ErrorModel; it advances the Markov chain one
+// step per queried frame.
+func (g *GilbertElliott) LossProb(_, _ Radio, _ phy.Rate, _ int) float64 {
+	if g.bad {
+		if g.Rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else if g.Rng.Float64() < g.PGoodToBad {
+		g.bad = true
+	}
+	if g.bad {
+		return g.LossBad
+	}
+	return g.LossGood
+}
+
+// SNRModel computes frame loss from physics: transmit power minus
+// log-distance path loss over noise, then modulation-specific AWGN BER
+// with a Chernoff union bound for the convolutional code, then
+// PER = 1-(1-BER)^bits.
+type SNRModel struct {
+	// TxPowerDBm is the transmit power (default 16 dBm).
+	TxPowerDBm float64
+	// RefLossDB is path loss at 1 m (≈46.7 dB at 2.4 GHz free space).
+	RefLossDB float64
+	// Exponent is the path-loss exponent (3.0 ≈ indoor office).
+	Exponent float64
+	// NoiseDBm is the receiver noise floor (thermal + noise figure;
+	// ≈ -90.9 dBm for 40 MHz with a 7 dB noise figure).
+	NoiseDBm float64
+	// SNROverrideDB, if non-nil, bypasses geometry and fixes the SNR —
+	// how the Figure 11 sweep sets its x-axis directly.
+	SNROverrideDB *float64
+}
+
+// DefaultSNRModel returns parameters matching the paper's setup
+// (indoor, 40 MHz 802.11n).
+func DefaultSNRModel() *SNRModel {
+	return &SNRModel{
+		TxPowerDBm: 16,
+		RefLossDB:  46.7,
+		Exponent:   3.0,
+		NoiseDBm:   -90.9,
+	}
+}
+
+// SNRAt returns the SNR in dB for a receiver at distance metres.
+func (s *SNRModel) SNRAt(distance float64) float64 {
+	if s.SNROverrideDB != nil {
+		return *s.SNROverrideDB
+	}
+	if distance < 1 {
+		distance = 1
+	}
+	pl := s.RefLossDB + 10*s.Exponent*math.Log10(distance)
+	return s.TxPowerDBm - pl - s.NoiseDBm
+}
+
+// DistanceForSNR inverts SNRAt: the distance at which the model yields
+// the target SNR. Used to place the Figure 11 client.
+func (s *SNRModel) DistanceForSNR(snrDB float64) float64 {
+	pl := s.TxPowerDBm - s.NoiseDBm - snrDB
+	return math.Pow(10, (pl-s.RefLossDB)/(10*s.Exponent))
+}
+
+// LossProb implements ErrorModel.
+func (s *SNRModel) LossProb(src, dst Radio, rate phy.Rate, length int) float64 {
+	snrDB := s.SNRAt(src.Position().DistanceTo(dst.Position()))
+	return FrameErrorRate(rate, snrDB, length)
+}
+
+// FrameErrorRate returns the probability that a frame of length bytes
+// at the given rate fails to decode at the given SNR (dB).
+func FrameErrorRate(rate phy.Rate, snrDB float64, length int) float64 {
+	ber := CodedBER(rate, snrDB)
+	bits := float64(8 * length)
+	// 1-(1-ber)^bits, computed stably.
+	per := 1 - math.Exp(bits*math.Log1p(-ber))
+	if per < 0 {
+		return 0
+	}
+	if per > 1 {
+		return 1
+	}
+	return per
+}
+
+// uncodedBER returns the raw channel bit error rate for a modulation
+// at symbol SNR γ (linear). Standard AWGN Gray-coded expressions:
+// BPSK ½erfc(√γ); QPSK ½erfc(√(γ/2)); 16-QAM ⅜erfc(√(γ/10));
+// 64-QAM (7/24)erfc(√(γ/42)).
+func uncodedBER(mod phy.Modulation, snrLin float64) float64 {
+	switch mod {
+	case phy.BPSK:
+		return 0.5 * math.Erfc(math.Sqrt(snrLin))
+	case phy.QPSK:
+		return 0.5 * math.Erfc(math.Sqrt(snrLin/2))
+	case phy.QAM16:
+		return 0.375 * math.Erfc(math.Sqrt(snrLin/10))
+	case phy.QAM64:
+		return 7.0 / 24.0 * math.Erfc(math.Sqrt(snrLin/42))
+	}
+	panic("channel: unknown modulation")
+}
+
+// Distance spectra (first five terms) of the industry-standard K=7
+// convolutional code and its punctured variants, used in the Chernoff
+// union bound. Index 0 corresponds to the free distance.
+var codeSpectra = map[phy.CodeRate]struct {
+	dfree int
+	ad    [5]float64
+	step  int // distance increment between terms (2 for rate 1/2)
+}{
+	phy.R12: {dfree: 10, ad: [5]float64{36, 211, 1404, 11633, 77433}, step: 2},
+	phy.R23: {dfree: 6, ad: [5]float64{3, 70, 285, 1276, 6160}, step: 1},
+	phy.R34: {dfree: 5, ad: [5]float64{42, 201, 1492, 10469, 62935}, step: 1},
+	phy.R56: {dfree: 4, ad: [5]float64{92, 528, 8694, 79453, 792114}, step: 1},
+}
+
+// CodedBER estimates the post-Viterbi bit error rate at snrDB for the
+// rate's modulation and code, via the Chernoff parameter
+// D = √(4p(1-p)) over the raw BER p (NIST error-model style).
+func CodedBER(rate phy.Rate, snrDB float64) float64 {
+	snrLin := math.Pow(10, snrDB/10)
+	p := uncodedBER(rate.Mod, snrLin)
+	if p <= 0 {
+		return 0
+	}
+	if p >= 0.5 {
+		return 0.5
+	}
+	spec, ok := codeSpectra[rate.Code]
+	if !ok {
+		panic(fmt.Sprintf("channel: no spectrum for code rate %v", rate.Code))
+	}
+	d := math.Sqrt(4 * p * (1 - p))
+	var pe float64
+	for i, a := range spec.ad {
+		pe += a * math.Pow(d, float64(spec.dfree+i*spec.step))
+	}
+	pe /= float64(2 * spec.step)
+	if pe > 0.5 {
+		return 0.5
+	}
+	return pe
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"tcphack/internal/analytical"
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+	"tcphack/internal/stats"
+)
+
+// ht150Config builds the §4.3 ns-3 scenario: 802.11n at 150 Mbps data
+// / 24 Mbps LL ACKs, A-MPDU aggregation under a 4 ms TXOP, a 500 Mbps
+// 1 ms wire to the server, and an AP queue of 126 packets per flow.
+func ht150Config(mode hack.Mode, clients int, seed int64) node.Config {
+	return node.Config{
+		Seed:         seed,
+		Mode:         mode,
+		DataRate:     phy.HTRate(7, 1),
+		AckRate:      phy.RateA24,
+		Aggregation:  true,
+		TXOPLimit:    4 * sim.Millisecond,
+		Clients:      clients,
+		APQueueLimit: 126,
+		WireRateKbps: 500_000,
+		WireDelay:    sim.Millisecond,
+	}
+}
+
+// Fig10Row is one bar group of Figure 10.
+type Fig10Row struct {
+	Clients       int
+	Protocol      string // "UDP", "HACK MoreData", "Opp. HACK", "TCP"
+	AggregateMbps float64
+	StdDev        float64
+	// GainOverTCPPct is this protocol's gain over the same-row stock
+	// TCP (filled for the HACK rows).
+	GainOverTCPPct float64
+}
+
+// Fig10Protocols lists Figure 10's transmission schemes.
+var Fig10Protocols = []struct {
+	Name string
+	Mode hack.Mode
+	UDP  bool
+}{
+	{"UDP", hack.ModeOff, true},
+	{"HACK MoreData", hack.ModeMoreData, false},
+	{"Opp. HACK", hack.ModeOpportunistic, false},
+	{"TCP", hack.ModeOff, false},
+}
+
+// Fig10 reproduces Figure 10: aggregate steady-state goodput for
+// 1/2/4/10 clients under UDP, TCP/HACK (MORE DATA), opportunistic
+// HACK, and stock TCP on the 150 Mbps 802.11n network.
+func Fig10(o Options, clientCounts []int) []Fig10Row {
+	o = o.withDefaults()
+	if clientCounts == nil {
+		clientCounts = []int{1, 2, 4, 10}
+	}
+	var rows []Fig10Row
+	for _, clients := range clientCounts {
+		tcpIdx := -1
+		for _, proto := range Fig10Protocols {
+			var agg stats.Summary
+			for run := 0; run < o.Runs; run++ {
+				cfg := ht150Config(proto.Mode, clients, o.Seed+int64(run))
+				cfg.APQueueLimit = 126 // per flow (one flow per client)
+				n := node.New(cfg)
+				for ci := 0; ci < clients; ci++ {
+					stagger := sim.Duration(ci) * 100 * sim.Millisecond
+					if proto.UDP {
+						n.StartUDPDownload(ci, 160_000/clients+8_000, 1500, stagger)
+					} else {
+						n.StartDownload(ci, 0, stagger)
+					}
+				}
+				n.Run(o.Warmup)
+				for _, c := range n.Clients {
+					c.Goodput.MarkWindow(n.Sched.Now())
+				}
+				n.Run(o.Warmup + o.Measure)
+				var sum float64
+				for _, c := range n.Clients {
+					sum += c.Goodput.WindowMbps(n.Sched.Now())
+				}
+				agg.Observe(sum)
+			}
+			rows = append(rows, Fig10Row{
+				Clients: clients, Protocol: proto.Name,
+				AggregateMbps: agg.Mean(), StdDev: agg.StdDev(),
+			})
+			if proto.Name == "TCP" {
+				tcpIdx = len(rows) - 1
+			}
+		}
+		if tcpIdx >= 0 {
+			tcp := rows[tcpIdx].AggregateMbps
+			for i := tcpIdx - 3; i < tcpIdx; i++ {
+				if tcp > 0 {
+					rows[i].GainOverTCPPct = (rows[i].AggregateMbps - tcp) / tcp * 100
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// Fig11Point is one (SNR, rate) cell of Figure 11.
+type Fig11Point struct {
+	SNRdB    float64
+	Rate     phy.Rate
+	TCPMbps  float64
+	HACKMbps float64
+}
+
+// Fig11Result carries the full sweep plus the per-SNR envelopes.
+type Fig11Result struct {
+	Points []Fig11Point
+	// Envelope maps SNR → best goodput over rates (ideal rate
+	// adaptation), per protocol.
+	EnvelopeTCP  map[float64]float64
+	EnvelopeHACK map[float64]float64
+	// MeanImprovementPct is HACK's average envelope gain (paper: 12.6%).
+	MeanImprovementPct float64
+}
+
+// Fig11 sweeps SNR × PHY rate for a single client (paper Figure 11):
+// at each SNR the client downloads at each 802.11n rate with the LL
+// ACK rate chosen by the basic-rate rules; the per-SNR envelope is the
+// goodput an ideal rate-adaptation algorithm would achieve.
+func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
+	o = o.withDefaults()
+	if snrsDB == nil {
+		snrsDB = []float64{0, 5, 10, 15, 20, 25, 30}
+	}
+	if rates == nil {
+		rates = phy.RatesHT40SGI1()
+	}
+	res := Fig11Result{
+		EnvelopeTCP:  make(map[float64]float64),
+		EnvelopeHACK: make(map[float64]float64),
+	}
+	run := func(mode hack.Mode, rate phy.Rate, snr float64, seed int64) float64 {
+		em := channel.DefaultSNRModel()
+		s := snr
+		em.SNROverrideDB = &s
+		cfg := ht150Config(mode, 1, seed)
+		cfg.DataRate = rate
+		cfg.AckRate = phy.Rate{} // basic-rate rules per eliciting frame
+		cfg.Err = em
+		n := node.New(cfg)
+		n.StartDownload(0, 0, 0)
+		n.Run(o.Warmup)
+		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
+		n.Run(o.Warmup + o.Measure)
+		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
+	}
+	var gains, count float64
+	for _, snr := range snrsDB {
+		bestTCP, bestHACK := 0.0, 0.0
+		for _, rate := range rates {
+			// Skip hopeless (rate, SNR) pairs cheaply: if even a Block
+			// ACK sized frame fails with near-certainty, goodput is 0.
+			if channel.FrameErrorRate(rate, snr, 1538) > 0.999 {
+				res.Points = append(res.Points, Fig11Point{SNRdB: snr, Rate: rate})
+				continue
+			}
+			tcp := run(hack.ModeOff, rate, snr, o.Seed)
+			hck := run(hack.ModeMoreData, rate, snr, o.Seed)
+			res.Points = append(res.Points, Fig11Point{SNRdB: snr, Rate: rate, TCPMbps: tcp, HACKMbps: hck})
+			if tcp > bestTCP {
+				bestTCP = tcp
+			}
+			if hck > bestHACK {
+				bestHACK = hck
+			}
+		}
+		res.EnvelopeTCP[snr] = bestTCP
+		res.EnvelopeHACK[snr] = bestHACK
+		if bestTCP > 1 { // meaningful operating points only
+			gains += (bestHACK - bestTCP) / bestTCP * 100
+			count++
+		}
+	}
+	if count > 0 {
+		res.MeanImprovementPct = gains / count
+	}
+	return res
+}
+
+// Fig12Row compares theory and simulation at one PHY rate.
+type Fig12Row struct {
+	Rate        phy.Rate
+	TheoryTCP   float64
+	TheoryHACK  float64
+	SimTCP      float64
+	SimHACK     float64
+	SimGainPct  float64
+	TheoGainPct float64
+}
+
+// Fig12 reproduces Figure 12: analytical predictions versus simulated
+// goodput at each 802.11n rate (lossless channel, best case — the
+// paper extracts the best point per rate from the Figure 11 sweep).
+func Fig12(o Options, rates []phy.Rate) []Fig12Row {
+	o = o.withDefaults()
+	if rates == nil {
+		rates = phy.RatesHT40SGI1()
+	}
+	p := analytical.Defaults()
+	run := func(mode hack.Mode, rate phy.Rate) float64 {
+		cfg := ht150Config(mode, 1, o.Seed)
+		cfg.DataRate = rate
+		cfg.AckRate = phy.Rate{}
+		n := node.New(cfg)
+		n.StartDownload(0, 0, 0)
+		n.Run(o.Warmup)
+		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
+		n.Run(o.Warmup + o.Measure)
+		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
+	}
+	var rows []Fig12Row
+	for _, rate := range rates {
+		simTCP := run(hack.ModeOff, rate)
+		simHACK := run(hack.ModeMoreData, rate)
+		thTCP := p.Goodput80211n(rate, analytical.ModeTCP)
+		thHACK := p.Goodput80211n(rate, analytical.ModeHACK)
+		row := Fig12Row{
+			Rate: rate, TheoryTCP: thTCP, TheoryHACK: thHACK,
+			SimTCP: simTCP, SimHACK: simHACK,
+			TheoGainPct: (thHACK - thTCP) / thTCP * 100,
+		}
+		if simTCP > 0 {
+			row.SimGainPct = (simHACK - simTCP) / simTCP * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/sim"
+	"tcphack/internal/stats"
+)
+
+// Table2Row is one protocol's row of Table 2: how a fixed 25 MB
+// transfer's TCP ACKs travelled.
+type Table2Row struct {
+	Protocol         string
+	NativeAcks       uint64
+	NativeAckBytes   uint64
+	CompressedAcks   uint64
+	CompressedBytes  uint64
+	CompressionRatio float64
+}
+
+// Table2 transfers a fixed payload over the SoRa scenario under stock
+// TCP and TCP/HACK, accounting every TCP ACK (paper Table 2; the paper
+// used 25 MB — bytes scales the workload).
+func Table2(o Options, bytes uint64) []Table2Row {
+	o = o.withDefaults()
+	if bytes == 0 {
+		bytes = 25 << 20
+	}
+	var rows []Table2Row
+	for _, proto := range []string{"TCP", "HACK"} {
+		mode := hack.ModeOff
+		if proto == "HACK" {
+			mode = hack.ModeMoreData
+		}
+		n := node.New(soraConfig(mode, 1, o.Seed))
+		f := n.StartDownload(0, bytes, 0)
+		n.Run(400 * sim.Second)
+		acct := n.Clients[0].Driver.Acct
+		rows = append(rows, Table2Row{
+			Protocol:         proto,
+			NativeAcks:       acct.NativeAcks,
+			NativeAckBytes:   acct.NativeAckBytes,
+			CompressedAcks:   acct.CompressedAcks,
+			CompressedBytes:  acct.CompressedBytes,
+			CompressionRatio: acct.CompressionRatio(),
+		})
+		if !f.Done {
+			rows[len(rows)-1].Protocol += " (incomplete)"
+		}
+	}
+	return rows
+}
+
+// Table3Row is one protocol's row of Table 3: where TCP-ACK time goes.
+type Table3Row struct {
+	Protocol  string
+	Breakdown stats.TimeBreakdown
+}
+
+// Table3 reruns the Table 2 workload and reports the per-cause time
+// spent delivering TCP ACKs (paper Table 3).
+func Table3(o Options, bytes uint64) []Table3Row {
+	o = o.withDefaults()
+	if bytes == 0 {
+		bytes = 25 << 20
+	}
+	var rows []Table3Row
+	for _, proto := range []string{"TCP", "HACK"} {
+		mode := hack.ModeOff
+		if proto == "HACK" {
+			mode = hack.ModeMoreData
+		}
+		n := node.New(soraConfig(mode, 1, o.Seed))
+		n.StartDownload(0, bytes, 0)
+		n.Run(400 * sim.Second)
+		var b stats.TimeBreakdown
+		b.Add(n.Clients[0].MAC.TCPAckTime) // native ACK costs at the client
+		b.Add(n.AP.MAC.TCPAckTime)
+		rows = append(rows, Table3Row{Protocol: proto, Breakdown: b})
+	}
+	return rows
+}
+
+// XValRow is one cell of the §4.2 SoRa/ns-3 cross-validation: the same
+// protocol with and without the SoRa LL ACK latency artifact.
+type XValRow struct {
+	Protocol      string
+	IdealMbps     float64 // simulator without SoRa artifacts ("ns-3")
+	SoRaModeMbps  float64 // with the 37 µs LL ACK delay
+	RecoveredMbps float64 // SoRa mode with the delay cost added back
+}
+
+// CrossValidation reproduces §4.2's reconciliation: removing the SoRa
+// LL ACK delay from the simulation must close most of the gap to the
+// ideal-MAC numbers.
+func CrossValidation(o Options) []XValRow {
+	o = o.withDefaults()
+	run := func(mode hack.Mode, sora bool) float64 {
+		cfg := soraConfig(mode, 1, o.Seed)
+		if !sora {
+			cfg.AckTurnaround = 0
+			cfg.AckTimeoutSlack = 0
+		}
+		n := buildSora(cfg, "TCP", 1)
+		n.Run(o.Warmup)
+		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
+		n.Run(o.Warmup + o.Measure)
+		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
+	}
+	var rows []XValRow
+	for _, proto := range []string{"TCP", "HACK"} {
+		mode := hack.ModeOff
+		if proto == "HACK" {
+			mode = hack.ModeMoreData
+		}
+		ideal := run(mode, false)
+		sora := run(mode, true)
+		rows = append(rows, XValRow{
+			Protocol: proto, IdealMbps: ideal, SoRaModeMbps: sora,
+			RecoveredMbps: removeAckDelay(sora, proto == "TCP"),
+		})
+	}
+	return rows
+}
+
+// removeAckDelay post-processes a SoRa-mode goodput the way the paper
+// does (§4.2): subtract the extra 37 µs LL ACK turnaround from each
+// exchange's time base. Stock TCP pays it on the data frame and
+// (amortized over two segments) on the TCP ACK frame; HACK only on the
+// data frame.
+func removeAckDelay(mbps float64, stockTCP bool) float64 {
+	if mbps <= 0 {
+		return 0
+	}
+	const payload = 1448.0 // bytes per data segment
+	extra := 37e-6         // data frame's late LL ACK
+	if stockTCP {
+		extra += 37e-6 / 2 // the TCP ACK frame's late LL ACK, per segment
+	}
+	perPkt := payload * 8 / (mbps * 1e6)
+	if perPkt <= extra {
+		return mbps
+	}
+	return payload * 8 / (perPkt - extra) / 1e6
+}

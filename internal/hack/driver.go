@@ -1,0 +1,518 @@
+// Package hack implements TCP/HACK, the paper's contribution: a NIC
+// driver extension that carries TCP acknowledgments inside 802.11
+// link-layer acknowledgments, eliminating the medium acquisitions TCP
+// ACK packets otherwise require.
+//
+// The Driver sits between the host network stack and the MAC
+// (implementing mac.Hooks) and is fully symmetric: at a downloading
+// client it compresses locally-generated TCP ACKs onto the client's
+// Block ACKs; at an AP relaying a client's upload it compresses the
+// server's TCP ACKs onto the AP's Block ACKs. Three holding policies
+// from §3.2 are implemented:
+//
+//   - ModeMoreData (the paper's design): the peer sets the 802.11 MORE
+//     DATA bit while more traffic is queued; the driver latches it and
+//     holds compressed ACKs for the next link-layer ACK. When a frame
+//     arrives without MORE DATA, held state flushes to native
+//     transmission.
+//   - ModeOpportunistic: ACKs contend natively as usual, but a copy is
+//     registered with the NIC; if a data frame arrives before the
+//     native copy wins the medium, the ACK rides the link-layer ACK
+//     and the native copy is withdrawn.
+//   - ModeTimer: the rejected strawman — hold every ACK for a fixed
+//     delay hoping for a piggyback opportunity.
+//
+// Loss recovery follows §3.4: compressed ACKs ride every link-layer
+// ACK until an implicit indication (progress) confirms delivery;
+// Block ACK Requests re-elicit the same payload; the SYNC bit
+// preserves retained state across the peer's BAR give-up; MSN dedup at
+// the decompressor discards the resulting duplicates; and the
+// no-MORE-DATA transition clears retained state in favour of native
+// cumulative ACKs.
+package hack
+
+import (
+	"fmt"
+
+	"tcphack/internal/mac"
+	"tcphack/internal/packet"
+	"tcphack/internal/rohc"
+	"tcphack/internal/sim"
+	"tcphack/internal/stats"
+)
+
+// Mode selects the ACK-holding policy.
+type Mode int
+
+const (
+	// ModeOff disables HACK: ACKs travel natively (the stock baseline;
+	// the driver still counts them for Table 2).
+	ModeOff Mode = iota
+	// ModeMoreData is the paper's design.
+	ModeMoreData
+	// ModeOpportunistic never delays ACKs; it piggybacks only when
+	// data happens to arrive first.
+	ModeOpportunistic
+	// ModeTimer holds ACKs for a fixed timeout (the paper's rejected
+	// strawman, kept for ablation).
+	ModeTimer
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeMoreData:
+		return "more-data"
+	case ModeOpportunistic:
+		return "opportunistic"
+	case ModeTimer:
+		return "timer"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes a Driver.
+type Config struct {
+	Mode Mode
+	// DriverLatency models the host-side path from TCP ACK generation
+	// to the compressed descriptor being DMA-visible to the NIC
+	// (Figure 3). Until it elapses, the NIC's "TCP/HACK ready" check
+	// fails and the ACK cannot ride a link-layer ACK.
+	DriverLatency sim.Duration
+	// HoldTimeout bounds ACK retention in ModeTimer.
+	HoldTimeout sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DriverLatency == 0 {
+		c.DriverLatency = 20 * sim.Microsecond
+	}
+	if c.HoldTimeout == 0 {
+		c.HoldTimeout = 5 * sim.Millisecond
+	}
+	return c
+}
+
+// heldAck is one TCP ACK held by the driver.
+type heldAck struct {
+	pkt     *packet.Packet
+	dst     mac.Addr
+	data    []byte   // compressed form (4-bit MSN; anchored at assembly)
+	msn     uint8    // full master sequence number, for rohc.Anchor
+	cid     byte     // flow context id
+	readyAt sim.Time // when the NIC can see it (DMA complete)
+	expires sim.Time // ModeTimer deadline
+	counted bool     // already counted in Acct (first ride)
+}
+
+// peerState tracks HACK state toward one MAC peer.
+type peerState struct {
+	moreData    bool
+	pending     []heldAck // compressed, not yet ridden on an LL ACK
+	unconfirmed []heldAck // ridden, awaiting implicit confirmation
+	holdTimer   *sim.Timer
+
+	// Native-synchronization gate. Compressed ACKs ride link-layer
+	// ACKs, which can overtake natively-queued chain members; a delta
+	// referencing state the decompressor has not yet received would be
+	// rejected by its CRC. So while any natively-sent ACK toward this
+	// peer is unresolved (or the last one expired undelivered), new
+	// ACKs also travel natively; compression resumes only once the
+	// native stream has demonstrably caught up.
+	nativeInFlight int
+	nativeExpired  bool
+	// gated marks natives whose resolution the syncing gate awaits;
+	// ungated refresh duplicates must not perturb the counter.
+	gated map[*packet.Packet]int
+	// resolved records per-packet native outcomes (opportunistic mode:
+	// a held ACK whose native copy is known-delivered may be discarded
+	// safely; an in-flight one blocks riding of it and its successors).
+	resolved map[*packet.Packet]bool
+}
+
+// syncing reports whether compression toward this peer must pause.
+func (ps *peerState) syncing() bool {
+	return ps.nativeInFlight > 0 || ps.nativeExpired
+}
+
+// Driver is the per-station HACK driver. Wire EnqueueNative, ForwardUp
+// and (for ModeOpportunistic) WithdrawNative before use, then install
+// it as the station's mac.Hooks.
+type Driver struct {
+	sched *sim.Scheduler
+	cfg   Config
+
+	comp *rohc.Compressor
+	dec  *rohc.Decompressor
+
+	peers map[mac.Addr]*peerState
+
+	// EnqueueNative transmits a TCP ACK as an ordinary packet (MAC
+	// transmit queue). Required.
+	EnqueueNative func(dst mac.Addr, p *packet.Packet)
+	// ForwardUp receives reconstituted TCP ACKs extracted from
+	// link-layer ACKs (AP: toward the wire; client: into the local
+	// stack). Required.
+	ForwardUp func(from mac.Addr, p *packet.Packet)
+	// WithdrawNative removes a still-queued native copy (opportunistic
+	// mode); it reports whether the packet was found and removed.
+	WithdrawNative func(dst mac.Addr, p *packet.Packet) bool
+
+	// Acct accumulates Table 2's accounting.
+	Acct stats.AckAccounting
+	// Decomp aggregates decompression results (failures must stay 0 in
+	// healthy runs — the paper's §4.3 claim).
+	DecompDuplicates uint64
+	DecompFailures   uint64
+	FailNoAnchor     uint64
+	FailNoContext    uint64
+	FailCRC          uint64
+}
+
+// NewDriver creates a driver bound to sched.
+func NewDriver(sched *sim.Scheduler, cfg Config) *Driver {
+	return &Driver{
+		sched: sched,
+		cfg:   cfg.withDefaults(),
+		comp:  rohc.NewCompressor(),
+		dec:   rohc.NewDecompressor(),
+		peers: make(map[mac.Addr]*peerState),
+	}
+}
+
+// Mode returns the driver's holding policy.
+func (d *Driver) Mode() Mode { return d.cfg.Mode }
+
+func (d *Driver) peer(a mac.Addr) *peerState {
+	p, ok := d.peers[a]
+	if !ok {
+		p = &peerState{}
+		d.peers[a] = p
+	}
+	return p
+}
+
+// SubmitAck intercepts an outgoing pure TCP ACK destined to dst.
+// Anything that is not a pure ACK must bypass the driver.
+func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
+	if !p.IsTCPAck() {
+		panic("hack: SubmitAck on non-ACK packet")
+	}
+	ps := d.peer(dst)
+	switch d.cfg.Mode {
+	case ModeOff:
+		d.sendNative(dst, p)
+	case ModeMoreData:
+		if !ps.moreData || ps.syncing() {
+			d.sendNative(dst, p)
+			return
+		}
+		if !d.hold(ps, dst, p, 0) {
+			d.sendNative(dst, p)
+		}
+	case ModeOpportunistic:
+		// Contend natively and register a compressed copy with the NIC;
+		// whichever path wins the medium first carries the ACK. (The
+		// syncing gate does not apply: the native copy is the
+		// authoritative one and riding is gated on withdrawing it.)
+		d.hold(ps, dst, p, 0)
+		d.sendNative(dst, p)
+	case ModeTimer:
+		if ps.syncing() || !d.hold(ps, dst, p, d.sched.Now()+d.cfg.HoldTimeout) {
+			d.sendNative(dst, p)
+			return
+		}
+		d.armHoldTimer(dst, ps)
+	}
+}
+
+// NativeResolved reports the fate of a natively-transmitted TCP ACK
+// toward dst: delivered (confirmed by the MAC, or superseded by a
+// withdrawn-and-ridden compressed copy) or expired. Wire the MAC's
+// OnMSDUResolved to this.
+func (d *Driver) NativeResolved(dst mac.Addr, p *packet.Packet, delivered bool) {
+	ps := d.peer(dst)
+	if c, isGated := ps.gated[p]; isGated {
+		if c <= 1 {
+			delete(ps.gated, p)
+		} else {
+			ps.gated[p] = c - 1
+		}
+		if ps.nativeInFlight > 0 {
+			ps.nativeInFlight--
+		}
+		if delivered {
+			ps.nativeExpired = false
+		} else {
+			ps.nativeExpired = true
+		}
+	}
+	if d.cfg.Mode == ModeOpportunistic && p != nil {
+		if ps.resolved == nil {
+			ps.resolved = make(map[*packet.Packet]bool)
+		}
+		ps.resolved[p] = delivered
+	}
+}
+
+// hold compresses p into the peer's pending set; false means the ACK
+// cannot travel compressed (no context yet) and must go natively.
+func (d *Driver) hold(ps *peerState, dst mac.Addr, p *packet.Packet, expires sim.Time) bool {
+	data, msn, ok := d.comp.Compress(p)
+	if !ok {
+		return false
+	}
+	tuple, _ := p.Tuple()
+	ps.pending = append(ps.pending, heldAck{
+		pkt: p, dst: dst, data: data, msn: msn, cid: rohc.CID(tuple),
+		readyAt: d.sched.Now() + d.cfg.DriverLatency,
+		expires: expires,
+	})
+	// Bound the NIC descriptor table. The evicted ACK must still reach
+	// the peer through SOME path or the compression chain breaks: in
+	// opportunistic mode its native copy is already queued; in the
+	// holding modes, send it natively now (this is also a safety valve
+	// against the §3.2 stall, where a sender pause leaves a window of
+	// ACKs parked at the client).
+	if len(ps.pending) > 2*64 {
+		evicted := ps.pending[0]
+		ps.pending = ps.pending[1:]
+		if d.cfg.Mode != ModeOpportunistic {
+			d.sendNative(evicted.dst, evicted.pkt)
+		}
+	}
+	return true
+}
+
+// sendNative transmits p as an ordinary packet, refreshing compression
+// context at both ends (the decompressor observes it on reception) and
+// engaging the syncing gate until its delivery resolves.
+//
+// Because TCP ACKs are cumulative, this native supersedes every held
+// ACK with a strictly older acknowledgment number: riding those later
+// would deliver nothing TCP needs, and their deltas would reference
+// chain state from before the native re-anchor. Drop them.
+func (d *Driver) sendNative(dst mac.Addr, p *packet.Packet) {
+	ps := d.peer(dst)
+	keepNewer := func(hs []heldAck) []heldAck {
+		out := hs[:0]
+		for _, h := range hs {
+			// Keep strictly newer ACKs — and the packet itself, which
+			// opportunistic mode holds and sends natively in tandem.
+			if h.pkt == p || int32(p.TCP.Ack-h.pkt.TCP.Ack) < 0 {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	ps.pending = keepNewer(ps.pending)
+	ps.unconfirmed = keepNewer(ps.unconfirmed)
+
+	d.comp.Observe(p)
+	d.Acct.NativeAcks++
+	d.Acct.NativeAckBytes += uint64(p.Len())
+	ps.nativeInFlight++
+	if ps.gated == nil {
+		ps.gated = make(map[*packet.Packet]int)
+	}
+	ps.gated[p]++
+	d.EnqueueNative(dst, p)
+}
+
+// armHoldTimer schedules the ModeTimer flush for the earliest expiry.
+func (d *Driver) armHoldTimer(dst mac.Addr, ps *peerState) {
+	if ps.holdTimer != nil && !ps.holdTimer.Cancelled() {
+		return
+	}
+	if len(ps.pending) == 0 {
+		return
+	}
+	at := ps.pending[0].expires
+	ps.holdTimer = d.sched.At(at, func() { d.flushExpired(dst, ps) })
+}
+
+// flushExpired sends timed-out held ACKs natively (ModeTimer).
+func (d *Driver) flushExpired(dst mac.Addr, ps *peerState) {
+	now := d.sched.Now()
+	var kept []heldAck
+	for _, h := range ps.pending {
+		if h.expires <= now {
+			d.sendNative(dst, h.pkt)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	ps.pending = kept
+	ps.holdTimer = nil
+	d.armHoldTimer(dst, ps)
+}
+
+// flushPendingNative converts all held-but-unridden ACKs to native
+// transmission (the Figures 3–4 race: data arrived with MORE DATA
+// clear before the NIC saw the descriptors, or the latch dropped).
+func (d *Driver) flushPendingNative(dst mac.Addr, ps *peerState) {
+	pending := ps.pending
+	ps.pending = nil
+	for _, h := range pending {
+		d.sendNative(dst, h.pkt)
+	}
+}
+
+// BuildAckPayload implements mac.Hooks: assemble the compressed frame
+// to append to the link-layer ACK for peer. Retained (unconfirmed)
+// ACKs are re-sent until confirmed (§3.4); ready pending ACKs join
+// them and become unconfirmed.
+func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
+	ps := d.peer(peer)
+	now := d.sched.Now()
+
+	// Split pending into NIC-visible (ready) and not-yet-DMA'd.
+	var ride, late []heldAck
+	for _, h := range ps.pending {
+		if h.readyAt <= now {
+			ride = append(ride, h)
+		} else {
+			late = append(late, h)
+		}
+	}
+
+	if d.cfg.Mode == ModeOpportunistic {
+		// Ride only ACKs whose native copy is still withdrawable.
+		// Known-delivered natives supersede their compressed copies
+		// (discard, chains re-anchored identically); a native still in
+		// flight blocks riding of its successors — a compressed
+		// successor overtaking it on a link-layer ACK would reference
+		// chain state the decompressor has not seen yet.
+		var kept, blocked []heldAck
+		for i, h := range ride {
+			if d.WithdrawNative != nil && d.WithdrawNative(peer, h.pkt) {
+				kept = append(kept, h)
+				continue
+			}
+			delivered, known := ps.resolved[h.pkt]
+			delete(ps.resolved, h.pkt)
+			if known && delivered {
+				continue // superseded by its own native copy
+			}
+			if known && !delivered {
+				continue // expired; CRC+re-anchor absorb the damage
+			}
+			// In flight: keep it and everything after it pending.
+			blocked = append(blocked, ride[i:]...)
+			break
+		}
+		ride = kept
+		late = append(blocked, late...)
+	}
+
+	// Assemble the frame, widening the first MSN of each flow to the
+	// 8-bit anchor form (paper §3.4) — done here, at frame-assembly
+	// time, because which ACK leads the frame is only known now.
+	var payload []byte
+	anchored := make(map[byte]bool)
+	emit := func(h *heldAck) {
+		data := h.data
+		if !anchored[h.cid] {
+			anchored[h.cid] = true
+			data = rohc.Anchor(data, h.msn)
+		}
+		payload = append(payload, data...)
+	}
+	for i := range ps.unconfirmed {
+		emit(&ps.unconfirmed[i])
+	}
+	for i := range ride {
+		emit(&ride[i])
+		if !ride[i].counted {
+			ride[i].counted = true
+			d.Acct.CompressedAcks++
+			d.Acct.CompressedBytes += uint64(len(ride[i].data))
+			d.Acct.UncompressedOf += uint64(ride[i].pkt.Len())
+		}
+	}
+	if d.cfg.Mode == ModeOpportunistic {
+		// No retention: reliability belongs to the native path here.
+		// Retained re-rides would go stale against the native
+		// re-anchors that flow constantly in this mode; if the
+		// link-layer ACK is lost, the peer retransmits its data and
+		// TCP's cumulative ACKs recover.
+		ps.unconfirmed = nil
+	} else {
+		ps.unconfirmed = append(ps.unconfirmed, ride...)
+	}
+	ps.pending = late
+
+	if d.cfg.Mode == ModeMoreData && !ps.moreData {
+		// No more data is coming (Figure 7): if this link-layer ACK is
+		// lost there will be no further piggyback opportunity, so do
+		// not retain state — later ACKs travel natively and TCP's
+		// cumulative ACKs absorb the gap.
+		//
+		// The compression chain, however, must not carry a silent gap:
+		// re-send the newest cleared ACK natively as well. If the
+		// link-layer ACK arrived this is an ignorable duplicate (not
+		// newer than the peer's context); if it was lost, the native
+		// copy re-anchors the decompressor absolutely, exactly where
+		// the compressor's context stands.
+		if n := len(ps.unconfirmed); n > 0 {
+			d.sendNative(peer, ps.unconfirmed[n-1].pkt)
+		}
+		ps.unconfirmed = nil
+		// Held ACKs whose DMA did not complete in time (the Figures
+		// 3–4 race) flush to native transmission now.
+		d.flushPendingNative(peer, ps)
+	}
+	return payload
+}
+
+// AckPayloadReceived implements mac.Hooks: decompress a HACK frame
+// found on a link-layer ACK and forward the reconstituted TCP ACKs.
+func (d *Driver) AckPayloadReceived(peer mac.Addr, payload []byte) {
+	res, err := d.dec.Decompress(payload)
+	d.DecompDuplicates += uint64(res.Duplicates)
+	d.DecompFailures += uint64(res.Failures)
+	d.FailNoAnchor += uint64(res.FailNoAnchor)
+	d.FailNoContext += uint64(res.FailNoContext)
+	d.FailCRC += uint64(res.FailCRC)
+	if err != nil {
+		d.DecompFailures++
+		return
+	}
+	for _, p := range res.Packets {
+		d.ForwardUp(peer, p)
+	}
+}
+
+// ObserveNativeAck must be called for every natively-received pure TCP
+// ACK so the decompressor's context stays synchronized (and recovers
+// from damage).
+func (d *Driver) ObserveNativeAck(p *packet.Packet) {
+	d.dec.Observe(p)
+}
+
+// DataIndication implements mac.Hooks: a data frame arrived from peer.
+// When the MORE DATA latch drops, pending ACKs whose DMA completed in
+// time still ride this frame's link-layer ACK; BuildAckPayload (which
+// the MAC calls when that ACK goes out) flushes the rest natively.
+func (d *Driver) DataIndication(peer mac.Addr, ind mac.DataInd) {
+	ps := d.peer(peer)
+	ps.moreData = ind.MoreData
+
+	switch {
+	case ind.Sync:
+		// The peer gave up soliciting our previous link-layer ACK
+		// (Figure 8): our retained compressed ACKs were never
+		// delivered. Keep them; they ride the next link-layer ACK.
+	case ind.Progress:
+		// The peer demonstrably received our previous link-layer ACK
+		// (Figures 5a/5b): retained state is delivered.
+		ps.unconfirmed = nil
+	}
+}
+
+// PendingAcks reports held-but-unridden ACKs toward peer (tests).
+func (d *Driver) PendingAcks(peer mac.Addr) int { return len(d.peer(peer).pending) }
+
+// UnconfirmedAcks reports retained ACKs awaiting confirmation (tests).
+func (d *Driver) UnconfirmedAcks(peer mac.Addr) int { return len(d.peer(peer).unconfirmed) }

@@ -1,0 +1,128 @@
+package mac
+
+import (
+	"tcphack/internal/sim"
+)
+
+// reorderTimeout bounds how long the Block ACK recipient holds
+// out-of-order MSDUs after the last reception from the peer. Holes
+// persist only when the originator drops an MPDU at its retry limit,
+// so the timer must comfortably exceed one full retry cycle (a 64 KB
+// A-MPDU at 150 Mbps lasts ~3.5 ms, and several retries may be
+// needed); flushing early would discard retransmissions that are
+// still on their way. Commodity receivers use reorder-release
+// timeouts of tens to hundreds of milliseconds.
+const reorderTimeout = 20 * sim.Millisecond
+
+// baRecipient is the receive side of a Block ACK agreement with one
+// peer: the scoreboard that answers Block ACKs and the reorder buffer
+// that restores in-sequence delivery.
+type baRecipient struct {
+	st         *Station
+	peer       Addr
+	started    bool
+	winStart   uint16
+	buf        map[uint16]*MSDU // received, undelivered, seq ≥ winStart
+	flushTimer *sim.Timer
+}
+
+func newBARecipient(st *Station, peer Addr) *baRecipient {
+	return &baRecipient{st: st, peer: peer, buf: make(map[uint16]*MSDU)}
+}
+
+// receive processes one decoded MPDU. It returns false for duplicates.
+func (r *baRecipient) receive(m *MPDU) bool {
+	if !r.started {
+		r.started = true
+		r.winStart = m.Seq
+	}
+	if seqLT(m.Seq, r.winStart) {
+		return false // old duplicate; implicitly acknowledged
+	}
+	if _, dup := r.buf[m.Seq]; dup {
+		return false
+	}
+	// A sequence number beyond the window forces the window forward
+	// (802.11-2012 §9.21.7.6.2).
+	if d := seqDiff(m.Seq, r.winStart); d >= baWindowSize {
+		r.advanceTo(seqAdd(m.Seq, -(baWindowSize - 1)))
+	}
+	r.buf[m.Seq] = m.MSDU
+	r.deliverInOrder()
+	r.armFlush()
+	return true
+}
+
+// deliverInOrder releases the contiguous run at winStart.
+func (r *baRecipient) deliverInOrder() {
+	for {
+		msdu, ok := r.buf[r.winStart]
+		if !ok {
+			return
+		}
+		delete(r.buf, r.winStart)
+		r.winStart = seqNext(r.winStart)
+		r.st.deliverUp(msdu)
+	}
+}
+
+// advanceTo moves the window start to seq, releasing everything below
+// it in sequence order (holes are abandoned — the originator dropped
+// or moved past them).
+func (r *baRecipient) advanceTo(seq uint16) {
+	if !r.started {
+		r.started = true
+		r.winStart = seq
+		return
+	}
+	for r.winStart != seq {
+		if msdu, ok := r.buf[r.winStart]; ok {
+			delete(r.buf, r.winStart)
+			r.st.deliverUp(msdu)
+		}
+		r.winStart = seqNext(r.winStart)
+	}
+	r.deliverInOrder()
+	r.armFlush()
+}
+
+// bitmap builds the compressed Block ACK response: origin and 64 bits.
+func (r *baRecipient) bitmap() (start uint16, bits uint64) {
+	start = r.winStart
+	for i := 0; i < baWindowSize; i++ {
+		if _, ok := r.buf[seqAdd(start, i)]; ok {
+			bits |= 1 << uint(i)
+		}
+	}
+	return start, bits
+}
+
+// armFlush (re)starts the hole-recovery timer. It is called on every
+// reception, so the timer measures inactivity: it fires only after the
+// peer has gone reorderTimeout without delivering anything new, by
+// which point pending retransmissions have either arrived or expired
+// at the originator's retry limit.
+func (r *baRecipient) armFlush() {
+	r.st.sched.Cancel(r.flushTimer)
+	r.flushTimer = nil
+	if len(r.buf) == 0 {
+		return
+	}
+	r.flushTimer = r.st.sched.After(reorderTimeout, r.flush)
+}
+
+// flush abandons all holes: delivers every buffered MSDU in sequence
+// order and advances the window past them.
+func (r *baRecipient) flush() {
+	if len(r.buf) == 0 {
+		return
+	}
+	// Find the highest buffered sequence number relative to winStart.
+	maxD := 0
+	for s := range r.buf {
+		if d := seqDiff(s, r.winStart); d > maxD {
+			maxD = d
+		}
+	}
+	r.advanceTo(seqAdd(r.winStart, maxD+1))
+}

@@ -1,0 +1,196 @@
+package mac
+
+import (
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+// dcf implements the 802.11 contention engine for one station:
+// arbitration inter-frame spacing, slotted backoff with freeze/resume,
+// exponential contention-window growth, NAV-based virtual carrier
+// sense, and EIFS deferral after reception errors.
+//
+// The engine is edge-driven: the channel reports physical busy/idle
+// transitions, the station reports NAV reservations and reception
+// errors, and the station asks for transmission opportunities via
+// request(). When the medium has been idle for IFS plus the remaining
+// backoff slots, fire() calls Station.txOpportunity.
+type dcf struct {
+	st *Station
+
+	wantTx bool // a transmission is requested
+	slots  int  // remaining backoff slots
+	cw     int  // current contention window
+
+	physBusy   bool
+	physBusyAt sim.Time // when the current physical-busy period began
+	navUntil   sim.Time
+	eifs       bool // next deferral uses EIFS (post-error)
+
+	idleAt   sim.Time // when the medium (phys+NAV) last went idle
+	armedAt  sim.Time // when the pending request started waiting
+	timer    *sim.Timer
+	navTimer *sim.Timer
+}
+
+func (d *dcf) init(st *Station) {
+	d.st = st
+	d.cw = st.cfg.CWMin
+}
+
+// ifs returns the arbitration IFS currently in force.
+func (d *dcf) ifs() sim.Duration {
+	base := phy.SIFS + sim.Duration(d.st.cfg.AIFSN)*phy.SlotTime
+	if d.eifs {
+		// EIFS = SIFS + ACKTxTime at the lowest basic rate + AIFS.
+		return phy.SIFS + phy.FrameDuration(phy.RateA6, ackLen) + base
+	}
+	return base
+}
+
+// busy reports the logical carrier state (physical or NAV).
+func (d *dcf) busy() bool {
+	return d.physBusy || d.st.sched.Now() < d.navUntil
+}
+
+// onPhysBusy handles a physical busy edge from the channel.
+func (d *dcf) onPhysBusy() {
+	wasBusy := d.busy()
+	d.physBusy = true
+	d.physBusyAt = d.st.sched.Now()
+	if !wasBusy {
+		d.freeze()
+	}
+}
+
+// onPhysIdle handles a physical idle edge from the channel.
+func (d *dcf) onPhysIdle() {
+	d.physBusy = false
+	d.recomputeIdle()
+}
+
+// setNAV extends the virtual carrier reservation until t.
+func (d *dcf) setNAV(t sim.Time) {
+	if t <= d.navUntil {
+		return
+	}
+	wasBusy := d.busy()
+	d.navUntil = t
+	if !wasBusy {
+		d.freeze()
+	}
+	// Re-evaluate when the reservation lapses.
+	d.st.sched.Cancel(d.navTimer)
+	d.navTimer = d.st.sched.At(t, d.recomputeIdle)
+}
+
+// noteRxError switches the next deferral to EIFS (802.11: a station
+// that could not decode a frame must assume it may have been addressed
+// to someone awaiting a SIFS response).
+func (d *dcf) noteRxError() {
+	d.eifs = true
+}
+
+// noteRxOK clears EIFS: a correctly received frame resynchronizes the
+// station with the medium.
+func (d *dcf) noteRxOK() {
+	d.eifs = false
+}
+
+// recomputeIdle starts the idle clock if the logical medium is idle.
+func (d *dcf) recomputeIdle() {
+	if d.busy() {
+		return
+	}
+	d.idleAt = d.st.sched.Now()
+	d.arm()
+}
+
+// freeze cancels a pending fire and banks backoff slots consumed
+// during the idle period that just ended. A timer due at this very
+// instant is left alone: the station has already committed to
+// transmit in this slot, which is precisely how two stations that
+// draw the same backoff collide.
+func (d *dcf) freeze() {
+	if d.timer == nil || d.timer.Cancelled() {
+		return
+	}
+	if d.timer.At() <= d.st.sched.Now() {
+		return
+	}
+	d.st.sched.Cancel(d.timer)
+	elapsed := d.st.sched.Now() - (d.idleAt + d.ifs())
+	if elapsed > 0 {
+		consumed := int(elapsed / phy.SlotTime)
+		if consumed > d.slots {
+			consumed = d.slots
+		}
+		d.slots -= consumed
+	}
+}
+
+// request asks for a transmission opportunity. Idempotent.
+func (d *dcf) request() {
+	if d.wantTx {
+		return
+	}
+	d.wantTx = true
+	d.armedAt = d.st.sched.Now()
+	if !d.busy() {
+		// The idle clock may predate this request; keep the earlier
+		// idleAt so a station that has been idle ≥ IFS may send at once.
+		d.arm()
+	}
+}
+
+// drawBackoff draws a fresh backoff from the current contention window.
+func (d *dcf) drawBackoff() {
+	d.slots = d.st.rng.Intn(d.cw + 1)
+}
+
+// onTxFailure doubles the contention window (up to CWmax).
+func (d *dcf) onTxFailure() {
+	d.cw = (d.cw+1)*2 - 1
+	if d.cw > d.st.cfg.CWMax {
+		d.cw = d.st.cfg.CWMax
+	}
+}
+
+// onTxSuccess resets the contention window.
+func (d *dcf) onTxSuccess() {
+	d.cw = d.st.cfg.CWMin
+}
+
+// arm schedules fire() once the medium has stayed idle for IFS plus
+// the remaining backoff.
+func (d *dcf) arm() {
+	if !d.wantTx || d.busy() || !d.st.canTransmit() {
+		return
+	}
+	if d.timer != nil && !d.timer.Cancelled() {
+		return
+	}
+	at := d.idleAt + d.ifs() + sim.Duration(d.slots)*phy.SlotTime
+	now := d.st.sched.Now()
+	if at < now {
+		at = now
+	}
+	d.timer = d.st.sched.At(at, d.fire)
+}
+
+func (d *dcf) fire() {
+	if !d.wantTx || !d.st.canTransmit() {
+		return
+	}
+	// Committed-slot semantics: a transmission that began at this very
+	// instant does not stop us — both stations chose this slot, and the
+	// medium will register the collision.
+	now := d.st.sched.Now()
+	committed := d.physBusy && d.physBusyAt == now && now >= d.navUntil
+	if d.busy() && !committed {
+		return
+	}
+	d.wantTx = false
+	d.slots = 0
+	d.st.txOpportunity(now - d.armedAt)
+}

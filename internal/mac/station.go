@@ -1,0 +1,714 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+	"tcphack/internal/stats"
+)
+
+// Config parameterizes one station.
+type Config struct {
+	Addr Addr
+	Pos  channel.Pos
+
+	// DataRate is the PHY rate for data frames (no rate adaptation;
+	// the paper fixes rates per experiment).
+	DataRate phy.Rate
+	// AckRate overrides the control-response rate; zero derives it
+	// from the eliciting frame per the 802.11 basic-rate rules.
+	AckRate phy.Rate
+
+	// AIFSN selects the arbitration IFS: 2 reproduces 802.11a DCF
+	// (DIFS), 3 the 802.11n EDCA best-effort class.
+	AIFSN        int
+	CWMin, CWMax int
+	// RetryLimit bounds retransmissions of one MPDU (and of a Block
+	// ACK Request exchange) beyond the initial attempt.
+	RetryLimit int
+
+	// Aggregation enables A-MPDU batching with Block ACKs.
+	Aggregation bool
+	// MaxAMPDULen bounds the A-MPDU in bytes (spec: 65535).
+	MaxAMPDULen int
+	// MaxAMPDUFrames bounds MPDUs per A-MPDU (Block ACK window: 64).
+	MaxAMPDUFrames int
+	// TXOPLimit bounds one data PPDU's airtime (the paper applies the
+	// 802.11e 4 ms transmit-opportunity limit). Zero = no limit.
+	TXOPLimit sim.Duration
+
+	// QueueLimit caps each destination's transmit queue in MSDUs
+	// (the paper sizes the AP queue at 126 packets per flow). Zero =
+	// unbounded.
+	QueueLimit int
+
+	// AckTurnaround adds delay beyond SIFS before this station sends
+	// link-layer ACKs — the SoRa software-radio artifact the paper
+	// measures at ~37 µs (commercial NICs: 10–13 µs).
+	AckTurnaround sim.Duration
+	// AckTimeoutSlack widens this station's ACK timeout, mirroring the
+	// paper's raised timeout that accommodates SoRa's late LL ACKs.
+	AckTimeoutSlack sim.Duration
+	// AckPayloadAllowance sizes the ACK timeout for HACK-lengthened
+	// responses: the longest compressed-ACK payload expected.
+	AckPayloadAllowance int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataRate.IsZero() {
+		c.DataRate = phy.RateA54
+	}
+	if c.AIFSN == 0 {
+		c.AIFSN = 2
+	}
+	if c.CWMin == 0 {
+		c.CWMin = phy.CWMin
+	}
+	if c.CWMax == 0 {
+		c.CWMax = phy.CWMax
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 7
+	}
+	if c.MaxAMPDULen == 0 {
+		c.MaxAMPDULen = 65535
+	}
+	if c.MaxAMPDUFrames == 0 {
+		c.MaxAMPDUFrames = baWindowSize
+	}
+	return c
+}
+
+// destQueue holds per-destination transmit state.
+type destQueue struct {
+	dst         Addr
+	fifo        []*MSDU
+	retryQ      []*MPDU // MPDUs awaiting retransmission, oldest first
+	outstanding []*MPDU // transmitted, awaiting a (Block) ACK
+	nextSeq     uint16
+	awaitingBAR bool
+	barRetries  int
+	syncPending bool
+}
+
+func (q *destQueue) hasWork() bool {
+	return q.awaitingBAR || len(q.retryQ) > 0 || len(q.fifo) > 0
+}
+
+// exchange is one in-flight frame exchange awaiting its response.
+type exchange struct {
+	q         *destQueue
+	frame     *DataFrame // nil for BAR exchanges
+	bar       *BARFrame  // nil for data exchanges
+	txEnd     sim.Time
+	timeout   *sim.Timer
+	allTCPAck bool
+}
+
+// Station is one 802.11 station (client or AP — the MAC is symmetric).
+type Station struct {
+	sched  *sim.Scheduler
+	medium *channel.Medium
+	cfg    Config
+	rng    *rand.Rand
+
+	dcf dcf
+
+	queues map[Addr]*destQueue
+	order  []Addr
+	rrNext int
+
+	waiting     *exchange
+	respPending bool
+	respTimer   *sim.Timer
+
+	rxLastSeq map[Addr]int32
+	rxBA      map[Addr]*baRecipient
+
+	// Hooks receives HACK driver callbacks; defaults to NopHooks.
+	Hooks Hooks
+	// Deliver receives MSDUs addressed to this station, in order.
+	Deliver func(*MSDU)
+	// OnMSDUResolved, if set, reports the final fate of each
+	// transmitted MSDU: true once its delivery is confirmed by a
+	// (Block) ACK, false when it is dropped at the retry limit. The
+	// HACK driver uses this to know when natively-sent TCP ACKs have
+	// actually reached the peer.
+	OnMSDUResolved func(m *MSDU, delivered bool)
+
+	// Stats and TCPAckTime expose the counters the experiments read.
+	Stats      stats.MAC
+	TCPAckTime stats.TimeBreakdown
+}
+
+// NewStation creates a station, attaches it to the medium, and readies
+// it for traffic.
+func NewStation(sched *sim.Scheduler, medium *channel.Medium, cfg Config) *Station {
+	st := &Station{
+		sched:     sched,
+		medium:    medium,
+		cfg:       cfg.withDefaults(),
+		rng:       sched.ForkRand(),
+		queues:    make(map[Addr]*destQueue),
+		rxLastSeq: make(map[Addr]int32),
+		rxBA:      make(map[Addr]*baRecipient),
+		Hooks:     NopHooks{},
+		Deliver:   func(*MSDU) {},
+	}
+	st.dcf.init(st)
+	medium.Attach(st)
+	return st
+}
+
+// Addr returns the station's MAC address.
+func (st *Station) Addr() Addr { return st.cfg.Addr }
+
+// Config returns the station's effective configuration.
+func (st *Station) Config() Config { return st.cfg }
+
+// Position implements channel.Radio.
+func (st *Station) Position() channel.Pos { return st.cfg.Pos }
+
+// CarrierBusy implements channel.Radio.
+func (st *Station) CarrierBusy() { st.dcf.onPhysBusy() }
+
+// CarrierIdle implements channel.Radio.
+func (st *Station) CarrierIdle() { st.dcf.onPhysIdle() }
+
+// Enqueue queues an MSDU for transmission. It reports false (and
+// counts a drop) if the destination queue is full.
+func (st *Station) Enqueue(m *MSDU) bool {
+	q := st.queue(m.Dst)
+	if st.cfg.QueueLimit > 0 && len(q.fifo) >= st.cfg.QueueLimit {
+		st.Stats.QueueDrops++
+		return false
+	}
+	m.EnqueuedAt = st.sched.Now()
+	q.fifo = append(q.fifo, m)
+	st.dcf.request()
+	return true
+}
+
+// QueueLen returns the number of MSDUs queued for dst.
+func (st *Station) QueueLen(dst Addr) int { return len(st.queue(dst).fifo) }
+
+// RemoveQueued withdraws the first MSDU for dst matching match from
+// the transmit queue, reporting whether one was found. HACK's
+// opportunistic mode uses this to cancel a native TCP ACK whose
+// compressed copy just rode a link-layer ACK; packets already handed
+// to the aggregation machinery cannot be withdrawn.
+func (st *Station) RemoveQueued(dst Addr, match func(*MSDU) bool) bool {
+	q := st.queue(dst)
+	for i, m := range q.fifo {
+		if match(m) {
+			q.fifo = append(q.fifo[:i], q.fifo[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Backlogged reports whether any transmission work remains (queued,
+// awaiting retry, or awaiting Block ACK resolution).
+func (st *Station) Backlogged() bool {
+	if st.waiting != nil {
+		return true
+	}
+	for _, q := range st.queues {
+		if q.hasWork() || len(q.outstanding) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *Station) queue(dst Addr) *destQueue {
+	q, ok := st.queues[dst]
+	if !ok {
+		q = &destQueue{dst: dst}
+		st.queues[dst] = q
+		st.order = append(st.order, dst)
+	}
+	return q
+}
+
+func (st *Station) canTransmit() bool {
+	return st.waiting == nil && !st.respPending
+}
+
+func (st *Station) hasTraffic() bool {
+	for _, q := range st.queues {
+		if q.hasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// ackRateFor returns the control-response rate for a frame received at
+// dataRate.
+func (st *Station) ackRateFor(dataRate phy.Rate) phy.Rate {
+	if !st.cfg.AckRate.IsZero() {
+		return st.cfg.AckRate
+	}
+	return phy.ControlResponseRate(dataRate)
+}
+
+// expectedRespDur returns the worst-case airtime of the response we
+// await, including the HACK payload allowance.
+func (st *Station) expectedRespDur(block bool) sim.Duration {
+	n := ackLen
+	if block {
+		n = blockAckLen
+	}
+	n += st.cfg.AckPayloadAllowance
+	return phy.FrameDuration(st.ackRateFor(st.cfg.DataRate), n)
+}
+
+// txOpportunity is called by the DCF when the station has won the
+// medium. waited is the contention time for Table 3 accounting.
+func (st *Station) txOpportunity(waited sim.Duration) {
+	q := st.pickQueue()
+	if q == nil {
+		return
+	}
+	if q.awaitingBAR {
+		st.sendBAR(q, waited)
+		return
+	}
+	st.sendData(q, waited)
+}
+
+func (st *Station) pickQueue() *destQueue {
+	n := len(st.order)
+	for i := 0; i < n; i++ {
+		dst := st.order[(st.rrNext+i)%n]
+		if q := st.queues[dst]; q.hasWork() {
+			st.rrNext = (st.rrNext + i + 1) % n
+			return q
+		}
+	}
+	return nil
+}
+
+// sendData builds and transmits the next data PPDU for q.
+func (st *Station) sendData(q *destQueue, waited sim.Duration) {
+	frame := st.buildFrame(q)
+	wire := frame.WireLen(st.cfg.DataRate.HT)
+	tx := st.medium.Transmit(st, st.cfg.DataRate, wire, frame)
+
+	st.Stats.FramesSent++
+	st.Stats.MPDUsSent += uint64(len(frame.MPDUs))
+
+	allAck := true
+	for _, m := range frame.MPDUs {
+		if !m.MSDU.IsTCPAck {
+			allAck = false
+			break
+		}
+	}
+	if allAck {
+		st.TCPAckTime.ChannelWait += waited
+		st.TCPAckTime.TCPAckAir += tx.Duration()
+	}
+
+	ex := &exchange{q: q, frame: frame, txEnd: tx.End, allTCPAck: allAck}
+	st.waiting = ex
+	ex.timeout = st.sched.At(st.respDeadline(tx.End, frame.Aggregated), st.onRespTimeout)
+}
+
+// respDeadline computes when to give up on the response to a frame
+// whose transmission ends at txEnd.
+func (st *Station) respDeadline(txEnd sim.Time, block bool) sim.Time {
+	return txEnd + phy.SIFS + phy.SlotTime + st.expectedRespDur(block) +
+		st.cfg.AckTimeoutSlack + sim.Microsecond
+}
+
+// buildFrame assembles the next DataFrame: pending retransmissions
+// first, then fresh MSDUs, within the A-MPDU and TXOP limits.
+func (st *Station) buildFrame(q *destQueue) *DataFrame {
+	f := &DataFrame{From: st.cfg.Addr, To: q.dst, Aggregated: st.cfg.Aggregation}
+	ht := st.cfg.DataRate.HT
+
+	if !st.cfg.Aggregation {
+		if len(q.retryQ) == 0 {
+			msdu := q.fifo[0]
+			q.fifo = q.fifo[1:]
+			q.retryQ = append(q.retryQ, &MPDU{Seq: q.nextSeq, MSDU: msdu})
+			q.nextSeq = seqNext(q.nextSeq)
+		}
+		f.MPDUs = []*MPDU{q.retryQ[0]}
+		f.MoreData = len(q.fifo) > 0
+		f.Dur = phy.SIFS + st.expectedRespDur(false)
+		return f
+	}
+
+	budget := st.cfg.MaxAMPDULen
+	if st.cfg.TXOPLimit > 0 {
+		if c := phy.PayloadCapacity(st.cfg.DataRate, st.cfg.TXOPLimit); c < budget {
+			budget = c
+		}
+	}
+	used := 0
+	add := func(m *MPDU) bool {
+		n := subframeLen(mpduWireLen(m.MSDU.Len(), ht))
+		if used+n > budget && len(f.MPDUs) > 0 {
+			return false
+		}
+		used += n
+		f.MPDUs = append(f.MPDUs, m)
+		return true
+	}
+	for len(q.retryQ) > 0 && len(f.MPDUs) < st.cfg.MaxAMPDUFrames {
+		if !add(q.retryQ[0]) {
+			break
+		}
+		q.retryQ = q.retryQ[1:]
+	}
+	// New MPDUs must stay inside the 64-sequence transmit window
+	// anchored at the oldest pending retransmission; otherwise the
+	// recipient would be forced to advance its scoreboard past the
+	// hole and the retried MPDU would be silently discarded.
+	winAnchor, anchored := uint16(0), false
+	if len(f.MPDUs) > 0 {
+		winAnchor, anchored = f.MPDUs[0].Seq, true
+	}
+	for len(q.retryQ) == 0 && len(q.fifo) > 0 && len(f.MPDUs) < st.cfg.MaxAMPDUFrames {
+		if anchored && seqDiff(q.nextSeq, winAnchor) >= baWindowSize {
+			break
+		}
+		m := &MPDU{Seq: q.nextSeq, MSDU: q.fifo[0]}
+		if !add(m) {
+			break
+		}
+		q.nextSeq = seqNext(q.nextSeq)
+		q.fifo = q.fifo[1:]
+	}
+	q.outstanding = append(q.outstanding, f.MPDUs...)
+	f.MoreData = len(q.fifo) > 0 || len(q.retryQ) > 0
+	f.Sync = q.syncPending
+	q.syncPending = false
+	f.Dur = phy.SIFS + st.expectedRespDur(true)
+	return f
+}
+
+// sendBAR transmits a Block ACK Request for q's oldest unresolved MPDU.
+func (st *Station) sendBAR(q *destQueue, waited sim.Duration) {
+	start := st.oldestUnresolved(q)
+	bar := &BARFrame{From: st.cfg.Addr, To: q.dst, StartSeq: start}
+	bar.Dur = phy.SIFS + st.expectedRespDur(true)
+	rate := st.ackRateFor(st.cfg.DataRate)
+	tx := st.medium.Transmit(st, rate, barLen, bar)
+	st.Stats.BARsSent++
+	ex := &exchange{q: q, bar: bar, txEnd: tx.End}
+	st.waiting = ex
+	ex.timeout = st.sched.At(st.respDeadline(tx.End, true), st.onRespTimeout)
+	_ = waited
+}
+
+func (st *Station) oldestUnresolved(q *destQueue) uint16 {
+	var oldest uint16
+	found := false
+	consider := func(m *MPDU) {
+		if !found || seqLT(m.Seq, oldest) {
+			oldest = m.Seq
+			found = true
+		}
+	}
+	for _, m := range q.outstanding {
+		consider(m)
+	}
+	for _, m := range q.retryQ {
+		consider(m)
+	}
+	if !found {
+		return q.nextSeq
+	}
+	return oldest
+}
+
+// EndRx implements channel.Radio: a transmission completed on the air.
+func (st *Station) EndRx(tx *channel.Transmission, outcome channel.Outcome) {
+	if outcome != channel.RxOK {
+		st.dcf.noteRxError()
+		return
+	}
+	switch f := tx.Frame.(type) {
+	case *DataFrame:
+		st.rxData(f, tx)
+	case *AckFrame:
+		st.rxAck(f, tx)
+	case *BARFrame:
+		st.rxBAR(f, tx)
+	default:
+		panic(fmt.Sprintf("mac: unknown frame type %T", tx.Frame))
+	}
+}
+
+func (st *Station) rxData(f *DataFrame, tx *channel.Transmission) {
+	if f.To != st.cfg.Addr {
+		st.dcf.noteRxOK()
+		st.dcf.setNAV(st.sched.Now() + f.Dur)
+		return
+	}
+	ht := st.cfg.DataRate.HT
+	var decoded []*MPDU
+	for _, m := range f.MPDUs {
+		if !st.medium.Corrupted(tx.Source, st, tx.Rate, mpduWireLen(m.MSDU.Len(), ht)) {
+			decoded = append(decoded, m)
+		}
+	}
+	if len(decoded) == 0 {
+		// Nothing decodable: the station cannot even tell the frame was
+		// addressed to it; no response, sender times out.
+		st.dcf.noteRxError()
+		return
+	}
+	st.dcf.noteRxOK()
+
+	progress := true
+	if !f.Aggregated {
+		last, seen := st.rxLastSeq[f.From]
+		progress = !seen || seqLT(uint16(last), decoded[0].Seq)
+	}
+	st.Hooks.DataIndication(f.From, DataInd{
+		MoreData: f.MoreData,
+		Sync:     f.Sync,
+		Progress: progress,
+		MPDUs:    len(decoded),
+	})
+
+	if f.Aggregated {
+		r := st.baRecipient(f.From)
+		for _, m := range decoded {
+			r.receive(m)
+		}
+	} else {
+		m := decoded[0]
+		last, seen := st.rxLastSeq[f.From]
+		if !seen || uint16(last) != m.Seq {
+			st.rxLastSeq[f.From] = int32(m.Seq)
+			st.deliverUp(m.MSDU)
+		}
+	}
+	st.scheduleResponse(f.From, f.Aggregated, tx.Rate)
+}
+
+func (st *Station) baRecipient(peer Addr) *baRecipient {
+	r, ok := st.rxBA[peer]
+	if !ok {
+		r = newBARecipient(st, peer)
+		st.rxBA[peer] = r
+	}
+	return r
+}
+
+func (st *Station) scheduleResponse(peer Addr, block bool, elicitRate phy.Rate) {
+	if st.respPending {
+		// Can only occur if an eliciting frame somehow completed inside
+		// our SIFS window; prefer the newer response.
+		st.sched.Cancel(st.respTimer)
+	}
+	st.respPending = true
+	at := phy.SIFS + st.cfg.AckTurnaround
+	st.respTimer = st.sched.After(at, func() { st.sendResponse(peer, block, elicitRate) })
+}
+
+func (st *Station) sendResponse(peer Addr, block bool, elicitRate phy.Rate) {
+	f := &AckFrame{From: st.cfg.Addr, To: peer, Block: block}
+	if block {
+		f.StartSeq, f.Bitmap = st.baRecipient(peer).bitmap()
+	}
+	f.Payload = st.Hooks.BuildAckPayload(peer)
+	rate := st.ackRateFor(elicitRate)
+	tx := st.medium.Transmit(st, rate, f.WireLen(), f)
+	if block {
+		st.Stats.BlockAcksSent++
+	} else {
+		st.Stats.AcksSent++
+	}
+	if len(f.Payload) > 0 {
+		st.Stats.HackPayloadsSent++
+		st.Stats.HackBytesSent += uint64(len(f.Payload))
+		base := ackLen
+		if block {
+			base = blockAckLen
+		}
+		st.TCPAckTime.ROHCAir += tx.Duration() - phy.FrameDuration(rate, base)
+	}
+	st.sched.At(tx.End, func() {
+		st.respPending = false
+		// The carrier-idle edge for this transmission fires earlier in
+		// the same instant (the medium delivers it before this event),
+		// while respPending still blocked us — re-evaluate now.
+		st.dcf.recomputeIdle()
+	})
+}
+
+func (st *Station) rxAck(f *AckFrame, tx *channel.Transmission) {
+	if f.To != st.cfg.Addr {
+		st.dcf.noteRxOK()
+		return
+	}
+	if st.medium.Corrupted(tx.Source, st, tx.Rate, f.WireLen()) {
+		st.dcf.noteRxError()
+		return
+	}
+	st.dcf.noteRxOK()
+	if len(f.Payload) > 0 {
+		st.Stats.HackPayloadsRecvd++
+		st.Hooks.AckPayloadReceived(f.From, f.Payload)
+	}
+	ex := st.waiting
+	if ex == nil || ex.q.dst != f.From {
+		return // stale or unexpected response (e.g. after our timeout)
+	}
+	st.sched.Cancel(ex.timeout)
+	st.waiting = nil
+	if ex.allTCPAck {
+		st.TCPAckTime.LLAckOverhead += st.sched.Now() - ex.txEnd
+	}
+	if f.Block {
+		st.processBlockAck(ex.q, f)
+	} else {
+		st.processAck(ex.q)
+	}
+	st.dcf.onTxSuccess()
+	st.postTx()
+}
+
+func (st *Station) processAck(q *destQueue) {
+	if len(q.retryQ) == 0 {
+		return
+	}
+	m := q.retryQ[0]
+	q.retryQ = q.retryQ[1:]
+	st.recordDelivered(m)
+}
+
+func (st *Station) processBlockAck(q *destQueue, f *AckFrame) {
+	outstanding := q.outstanding
+	q.outstanding = nil
+	q.awaitingBAR = false
+	q.barRetries = 0
+	for _, m := range outstanding {
+		if f.Acked(m.Seq) {
+			st.recordDelivered(m)
+		} else {
+			st.retryOrDrop(q, m)
+		}
+	}
+}
+
+func (st *Station) recordDelivered(m *MPDU) {
+	st.Stats.MPDUsDelivered++
+	if m.Retries == 0 {
+		st.Stats.DeliveredFirstTry++
+	} else {
+		st.Stats.DeliveredRetried++
+	}
+	if st.OnMSDUResolved != nil {
+		st.OnMSDUResolved(m.MSDU, true)
+	}
+}
+
+func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
+	m.Retries++
+	if m.Retries > st.cfg.RetryLimit {
+		st.Stats.Expired++
+		if st.OnMSDUResolved != nil {
+			st.OnMSDUResolved(m.MSDU, false)
+		}
+		return
+	}
+	st.Stats.Retries++
+	q.retryQ = append(q.retryQ, m)
+}
+
+func (st *Station) rxBAR(f *BARFrame, tx *channel.Transmission) {
+	if f.To != st.cfg.Addr {
+		st.dcf.noteRxOK()
+		st.dcf.setNAV(st.sched.Now() + f.Dur)
+		return
+	}
+	if st.medium.Corrupted(tx.Source, st, tx.Rate, barLen) {
+		st.dcf.noteRxError()
+		return
+	}
+	st.dcf.noteRxOK()
+	r := st.baRecipient(f.From)
+	if r.started && seqLT(r.winStart, f.StartSeq) {
+		r.advanceTo(f.StartSeq)
+	}
+	st.scheduleResponse(f.From, true, tx.Rate)
+}
+
+// onRespTimeout handles an expired (Block) ACK wait.
+func (st *Station) onRespTimeout() {
+	ex := st.waiting
+	if ex == nil {
+		return
+	}
+	st.waiting = nil
+	st.Stats.AckTimeouts++
+	if ex.allTCPAck {
+		st.TCPAckTime.LLAckOverhead += st.sched.Now() - ex.txEnd
+	}
+	q := ex.q
+	switch {
+	case ex.bar != nil:
+		q.barRetries++
+		if q.barRetries > st.cfg.RetryLimit {
+			// Give up soliciting (paper Fig. 8): recycle the outstanding
+			// MPDUs into the retry queue, move on, and mark the next
+			// data frame with SYNC so the receiver keeps its retained
+			// compressed-ACK state.
+			outstanding := q.outstanding
+			q.outstanding = nil
+			q.awaitingBAR = false
+			q.barRetries = 0
+			q.syncPending = true
+			for _, m := range outstanding {
+				st.retryOrDrop(q, m)
+			}
+			st.dcf.onTxSuccess() // fresh contention state for the new batch
+		} else {
+			st.dcf.onTxFailure()
+		}
+	case ex.frame.Aggregated:
+		// No Block ACK: solicit one with a BAR (paper §3.4).
+		q.awaitingBAR = true
+		st.dcf.onTxFailure()
+	default:
+		// Single-MPDU exchange: retransmit the same sequence number.
+		m := q.retryQ[0]
+		m.Retries++
+		if m.Retries > st.cfg.RetryLimit {
+			st.Stats.Expired++
+			q.retryQ = q.retryQ[1:]
+			if st.OnMSDUResolved != nil {
+				st.OnMSDUResolved(m.MSDU, false)
+			}
+			st.dcf.onTxSuccess()
+		} else {
+			st.Stats.Retries++
+			st.dcf.onTxFailure()
+		}
+	}
+	st.postTx()
+}
+
+// postTx re-enters contention after an exchange resolves.
+func (st *Station) postTx() {
+	st.dcf.drawBackoff()
+	st.dcf.wantTx = st.hasTraffic()
+	st.dcf.armedAt = st.sched.Now()
+	st.dcf.arm()
+}
+
+func (st *Station) deliverUp(m *MSDU) {
+	st.Deliver(m)
+}

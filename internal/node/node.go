@@ -1,0 +1,523 @@
+// Package node composes the full simulated network the paper
+// evaluates: WiFi stations (clients and an access point) that stack a
+// host TCP/IP implementation, a HACK driver, and an 802.11 MAC; a
+// wired backhaul link; and a wired server. It provides the flow
+// orchestration (staggered TCP downloads/uploads, saturating UDP) that
+// the experiment runners parameterize.
+//
+// Topology (the paper's §4.3 setup):
+//
+//	server ──(500 Mbps, 1 ms wire)── AP ))) clients (≤10, 10 m circle)
+//
+// For the SoRa testbed experiments (§4.1) the AP itself hosts the TCP
+// sender (the testbed ran iperf between SoRa nodes in ad-hoc mode), so
+// the wire is unused.
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/mac"
+	"tcphack/internal/packet"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+	"tcphack/internal/stats"
+	"tcphack/internal/tcp"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	Seed int64
+	// Mode selects the HACK policy at every station (ModeOff = stock).
+	Mode hack.Mode
+
+	// PHY/MAC.
+	DataRate        phy.Rate
+	AckRate         phy.Rate // zero: 802.11 control-response rules
+	AIFSN           int      // 2 = 802.11a DCF, 3 = 802.11n EDCA BE
+	Aggregation     bool
+	TXOPLimit       sim.Duration
+	RetryLimit      int
+	AckTurnaround   sim.Duration // SoRa LL ACK lateness (all stations)
+	AckTimeoutSlack sim.Duration // widened ACK timeout to match
+
+	// Topology.
+	Clients   int
+	ClientPos func(i int) channel.Pos // default: circle of radius 10 m
+	Err       channel.ErrorModel      // default: lossless
+
+	// Queues: the paper sizes the AP transmit queue at 126 packets per
+	// flow ("three batches of 42").
+	APQueueLimit     int
+	ClientQueueLimit int
+
+	// Host model.
+	StackDelay    sim.Duration // TCP stack turnaround (≫ SIFS; default 50 µs)
+	ForwardDelay  sim.Duration // AP driver forwarding latency (default 10 µs)
+	DriverLatency sim.Duration // HACK compress+DMA latency (default 20 µs)
+
+	// Wire (server—AP). WireRate 0 disables the server (AP hosts
+	// senders, the SoRa topology).
+	WireRateKbps int
+	WireDelay    sim.Duration
+
+	// TCPConfig is the base endpoint configuration (ports/addresses
+	// are filled per flow).
+	TCPConfig tcp.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataRate.IsZero() {
+		c.DataRate = phy.RateA54
+	}
+	if c.AIFSN == 0 {
+		if c.DataRate.HT {
+			c.AIFSN = phy.AIFSNBestEffort
+		} else {
+			c.AIFSN = 2
+		}
+	}
+	if c.Clients == 0 {
+		c.Clients = 1
+	}
+	if c.ClientPos == nil {
+		n := c.Clients
+		c.ClientPos = func(i int) channel.Pos {
+			angle := 2 * math.Pi * float64(i) / float64(n)
+			return channel.Pos{X: 10 * math.Cos(angle), Y: 10 * math.Sin(angle)}
+		}
+	}
+	if c.APQueueLimit == 0 {
+		c.APQueueLimit = 126
+	}
+	if c.ClientQueueLimit == 0 {
+		c.ClientQueueLimit = 1000
+	}
+	if c.StackDelay == 0 {
+		c.StackDelay = 50 * sim.Microsecond
+	}
+	if c.ForwardDelay == 0 {
+		c.ForwardDelay = 10 * sim.Microsecond
+	}
+	if c.DriverLatency == 0 {
+		c.DriverLatency = 20 * sim.Microsecond
+	}
+	if c.WireDelay == 0 {
+		c.WireDelay = sim.Millisecond
+	}
+	if c.TCPConfig.MSS == 0 {
+		c.TCPConfig = tcp.DefaultConfig()
+	}
+	return c
+}
+
+// Addressing plan.
+const (
+	apMAC    = mac.Addr(1)
+	baseMAC  = mac.Addr(2)
+	basePort = 5001
+)
+
+var (
+	serverIP = packet.IP(10, 0, 0, 1)
+	apIP     = packet.IP(192, 168, 0, 1)
+)
+
+func clientIP(i int) packet.Addr { return packet.IP(192, 168, 0, byte(10+i)) }
+
+// Link is a full-duplex point-to-point wired link (one Link per
+// direction): fixed rate, fixed propagation delay, FIFO serialization.
+type Link struct {
+	sched     *sim.Scheduler
+	rateKbps  int
+	delay     sim.Duration
+	busyUntil sim.Time
+	// Deliver receives packets at the far end.
+	Deliver func(*packet.Packet)
+}
+
+// NewLink creates a link; rateKbps 0 means infinite rate.
+func NewLink(sched *sim.Scheduler, rateKbps int, delay sim.Duration) *Link {
+	return &Link{sched: sched, rateKbps: rateKbps, delay: delay}
+}
+
+// Send serializes p onto the link.
+func (l *Link) Send(p *packet.Packet) {
+	now := l.sched.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var txTime sim.Duration
+	if l.rateKbps > 0 {
+		txTime = sim.Duration(int64(p.Len()) * 8 * int64(sim.Second) / (int64(l.rateKbps) * 1000))
+	}
+	l.busyUntil = start + txTime
+	l.sched.At(l.busyUntil+l.delay, func() { l.Deliver(p) })
+}
+
+// WifiNode is a WiFi station with a host stack and HACK driver.
+type WifiNode struct {
+	net     *Network
+	MAC     *mac.Station
+	Driver  *hack.Driver
+	IP      packet.Addr
+	MACAddr mac.Addr
+
+	endpoints map[packet.FiveTuple]*tcp.Endpoint
+	// Goodput measures application bytes received at this node
+	// (TCP payload or UDP payload).
+	Goodput stats.Goodput
+}
+
+// Network is the assembled simulation.
+type Network struct {
+	Cfg     Config
+	Sched   *sim.Scheduler
+	Medium  *channel.Medium
+	AP      *WifiNode
+	Clients []*WifiNode
+	// Server endpoints/state (nil when WireRateKbps == 0).
+	serverEndpoints map[packet.FiveTuple]*tcp.Endpoint
+	wireUp, wireDn  *Link // up: AP→server, dn: server→AP
+
+	Flows []*Flow
+
+	nextPort uint16
+}
+
+// Flow is one transfer and its measurement hooks.
+type Flow struct {
+	Client   int
+	Upload   bool
+	Sender   *tcp.Endpoint
+	Receiver *tcp.Endpoint
+	Goodput  stats.Goodput
+	Done     bool
+	DoneAt   sim.Time
+}
+
+// New assembles a network per cfg.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	sched := sim.NewScheduler(cfg.Seed)
+	medium := channel.New(sched, cfg.Err)
+	n := &Network{
+		Cfg:             cfg,
+		Sched:           sched,
+		Medium:          medium,
+		serverEndpoints: make(map[packet.FiveTuple]*tcp.Endpoint),
+		nextPort:        basePort,
+	}
+
+	payloadAllowance := 0
+	if cfg.Mode != hack.ModeOff {
+		// Budget the ACK timeout for the worst-case compressed payload:
+		// the driver caps held ACKs at 128, each ≈6 bytes, plus the
+		// retained unconfirmed batch.
+		payloadAllowance = 1024
+	}
+	mkStation := func(addr mac.Addr, pos channel.Pos, queueLimit int) *mac.Station {
+		return mac.NewStation(sched, medium, mac.Config{
+			Addr: addr, Pos: pos,
+			DataRate: cfg.DataRate, AckRate: cfg.AckRate,
+			AIFSN: cfg.AIFSN, RetryLimit: cfg.RetryLimit,
+			Aggregation: cfg.Aggregation, TXOPLimit: cfg.TXOPLimit,
+			QueueLimit:          queueLimit,
+			AckTurnaround:       cfg.AckTurnaround,
+			AckTimeoutSlack:     cfg.AckTimeoutSlack,
+			AckPayloadAllowance: payloadAllowance,
+		})
+	}
+
+	n.AP = n.newNode(mkStation(apMAC, channel.Pos{}, cfg.APQueueLimit), apIP, apMAC)
+	for i := 0; i < cfg.Clients; i++ {
+		st := mkStation(baseMAC+mac.Addr(i), cfg.ClientPos(i), cfg.ClientQueueLimit)
+		n.Clients = append(n.Clients, n.newNode(st, clientIP(i), baseMAC+mac.Addr(i)))
+	}
+
+	if cfg.WireRateKbps > 0 {
+		n.wireUp = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
+		n.wireDn = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
+		n.wireUp.Deliver = n.serverInput
+		n.wireDn.Deliver = n.apFromWire
+	}
+	return n
+}
+
+// newNode builds a WifiNode around a MAC station.
+func (n *Network) newNode(st *mac.Station, ip packet.Addr, addr mac.Addr) *WifiNode {
+	w := &WifiNode{
+		net: n, MAC: st, IP: ip, MACAddr: addr,
+		endpoints: make(map[packet.FiveTuple]*tcp.Endpoint),
+	}
+	d := hack.NewDriver(n.Sched, hack.Config{
+		Mode:          n.Cfg.Mode,
+		DriverLatency: n.Cfg.DriverLatency,
+	})
+	d.EnqueueNative = func(dst mac.Addr, p *packet.Packet) {
+		if !st.Enqueue(&mac.MSDU{Src: addr, Dst: dst, Packet: p, IsTCPAck: true}) {
+			// Queue overflow: the native ACK is gone; keep the driver's
+			// syncing gate honest.
+			d.NativeResolved(dst, p, false)
+		}
+	}
+	d.ForwardUp = func(from mac.Addr, p *packet.Packet) {
+		// Reconstituted TCP ACKs surface at the driver; forward after
+		// the driver's processing latency.
+		n.Sched.After(n.Cfg.ForwardDelay, func() { w.route(p) })
+	}
+	d.WithdrawNative = func(dst mac.Addr, p *packet.Packet) bool {
+		if st.RemoveQueued(dst, func(m *mac.MSDU) bool { return m.Packet == p }) {
+			// The compressed copy supersedes the withdrawn native.
+			d.NativeResolved(dst, p, true)
+			return true
+		}
+		return false
+	}
+	st.OnMSDUResolved = func(m *mac.MSDU, delivered bool) {
+		if m.IsTCPAck {
+			d.NativeResolved(m.Dst, m.Packet, delivered)
+		}
+	}
+	w.Driver = d
+	st.Hooks = d
+	st.Deliver = func(m *mac.MSDU) { w.fromWifi(m) }
+	return w
+}
+
+// fromWifi handles an MSDU delivered by the MAC.
+func (w *WifiNode) fromWifi(m *mac.MSDU) {
+	p := m.Packet
+	if p.IsTCPAck() {
+		// Keep the decompressor context in sync with natively
+		// travelling ACKs.
+		w.Driver.ObserveNativeAck(p)
+	}
+	if p.IP.Dst == w.IP {
+		// Local delivery through the host stack.
+		w.net.Sched.After(w.net.Cfg.StackDelay, func() { w.localInput(p) })
+		return
+	}
+	// Forwarding (AP role).
+	w.net.Sched.After(w.net.Cfg.ForwardDelay, func() { w.route(p) })
+}
+
+// localInput demultiplexes a packet to this node's stack.
+func (w *WifiNode) localInput(p *packet.Packet) {
+	if p.UDP != nil {
+		w.Goodput.Add(w.net.Sched.Now(), p.PayloadLen)
+		return
+	}
+	if t, ok := p.Tuple(); ok {
+		if ep, found := w.endpoints[t.Reverse()]; found {
+			ep.Input(p)
+		}
+	}
+}
+
+// route sends p toward its destination IP from this node.
+func (w *WifiNode) route(p *packet.Packet) {
+	dst := p.IP.Dst
+	switch {
+	case dst == w.IP:
+		w.localInput(p)
+	case w.MACAddr == apMAC:
+		// AP: toward a client over WiFi, or upstream over the wire.
+		if ci, ok := w.net.clientByIP(dst); ok {
+			w.sendWifi(w.net.Clients[ci].MACAddr, p)
+		} else if w.net.wireUp != nil {
+			w.net.wireUp.Send(p)
+		}
+	default:
+		// Clients reach everything via the AP.
+		w.sendWifi(apMAC, p)
+	}
+}
+
+// sendWifi enqueues p for WiFi transmission, routing pure TCP ACKs
+// through the HACK driver.
+func (w *WifiNode) sendWifi(dst mac.Addr, p *packet.Packet) {
+	if p.IsTCPAck() {
+		w.Driver.SubmitAck(dst, p)
+		return
+	}
+	w.MAC.Enqueue(&mac.MSDU{Src: w.MACAddr, Dst: dst, Packet: p})
+}
+
+func (n *Network) clientByIP(ip packet.Addr) (int, bool) {
+	for i := range n.Clients {
+		if clientIP(i) == ip {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// apFromWire handles a packet arriving at the AP from the server.
+func (n *Network) apFromWire(p *packet.Packet) {
+	n.AP.route(p)
+}
+
+// serverInput demultiplexes a packet arriving at the server.
+func (n *Network) serverInput(p *packet.Packet) {
+	if t, ok := p.Tuple(); ok {
+		if ep, found := n.serverEndpoints[t.Reverse()]; found {
+			ep.Input(p)
+		}
+	}
+}
+
+// endpointPair creates a connected sender/receiver endpoint pair for a
+// flow between srcIP and dstIP. Output wiring depends on where each
+// end lives.
+func (n *Network) allocPort() uint16 {
+	n.nextPort++
+	return n.nextPort
+}
+
+// StartDownload starts a TCP transfer of totalBytes toward client ci,
+// beginning at startAt. totalBytes 0 means unbounded. The sender lives
+// on the server when the wire exists, else on the AP (SoRa topology).
+func (n *Network) StartDownload(ci int, totalBytes uint64, startAt sim.Duration) *Flow {
+	port := n.allocPort()
+	senderIP := serverIP
+	if n.wireDn == nil {
+		senderIP = apIP
+	}
+	scfg := n.Cfg.TCPConfig
+	scfg.Local, scfg.LocalPort = senderIP, port
+	scfg.Remote, scfg.RemotePort = clientIP(ci), port
+	rcfg := n.Cfg.TCPConfig
+	rcfg.Local, rcfg.LocalPort = clientIP(ci), port
+	rcfg.Remote, rcfg.RemotePort = senderIP, port
+
+	sender := tcp.NewEndpoint(n.Sched, scfg)
+	receiver := tcp.NewEndpoint(n.Sched, rcfg)
+	f := &Flow{Client: ci, Sender: sender, Receiver: receiver}
+	return n.finishFlow(f, ci, sender, receiver, totalBytes, startAt, false)
+}
+
+// StartUpload starts a TCP transfer of totalBytes from client ci.
+func (n *Network) StartUpload(ci int, totalBytes uint64, startAt sim.Duration) *Flow {
+	port := n.allocPort()
+	peerIP := serverIP
+	if n.wireUp == nil {
+		peerIP = apIP
+	}
+	scfg := n.Cfg.TCPConfig
+	scfg.Local, scfg.LocalPort = clientIP(ci), port
+	scfg.Remote, scfg.RemotePort = peerIP, port
+	rcfg := n.Cfg.TCPConfig
+	rcfg.Local, rcfg.LocalPort = peerIP, port
+	rcfg.Remote, rcfg.RemotePort = clientIP(ci), port
+
+	sender := tcp.NewEndpoint(n.Sched, scfg)
+	receiver := tcp.NewEndpoint(n.Sched, rcfg)
+	f := &Flow{Client: ci, Upload: true, Sender: sender, Receiver: receiver}
+	return n.finishFlow(f, ci, sender, receiver, totalBytes, startAt, true)
+}
+
+// finishFlow wires endpoints into their hosts and schedules the start.
+func (n *Network) finishFlow(f *Flow, ci int, sender, receiver *tcp.Endpoint, totalBytes uint64, startAt sim.Duration, upload bool) *Flow {
+	client := n.Clients[ci]
+
+	bindWifi := func(w *WifiNode, ep *tcp.Endpoint) {
+		w.endpoints[ep.Tuple()] = ep
+		ep.Output = func(p *packet.Packet) { w.route(p) }
+	}
+	bindServer := func(ep *tcp.Endpoint) {
+		n.serverEndpoints[ep.Tuple()] = ep
+		ep.Output = func(p *packet.Packet) { n.wireDn.Send(p) }
+	}
+
+	wifiPeer := n.AP // AP-resident endpoint when no wire
+	if upload {
+		bindWifi(client, sender)
+		if n.wireUp != nil {
+			bindServer(receiver)
+		} else {
+			bindWifi(wifiPeer, receiver)
+		}
+	} else {
+		bindWifi(client, receiver)
+		if n.wireDn != nil {
+			bindServer(sender)
+		} else {
+			bindWifi(wifiPeer, sender)
+		}
+	}
+
+	receiver.OnDeliver = func(nb int) {
+		f.Goodput.Add(n.Sched.Now(), nb)
+		if !upload {
+			client.Goodput.Add(n.Sched.Now(), nb)
+		}
+	}
+	receiver.OnDone = func() {
+		f.Done = true
+		f.DoneAt = n.Sched.Now()
+	}
+	receiver.Listen()
+	n.Sched.At(sim.Time(startAt), func() {
+		if totalBytes == 0 {
+			sender.SendForever()
+		} else {
+			sender.Send(totalBytes)
+		}
+		sender.Connect()
+	})
+	n.Flows = append(n.Flows, f)
+	return f
+}
+
+// StartUDPDownload saturates client ci with UDP at rateKbps using
+// payload-length pktLen datagrams, beginning at startAt. Delivered
+// bytes accumulate in the client's Goodput.
+func (n *Network) StartUDPDownload(ci int, rateKbps int, pktLen int, startAt sim.Duration) {
+	dst := clientIP(ci)
+	srcIP := serverIP
+	if n.wireDn == nil {
+		srcIP = apIP
+	}
+	interval := sim.Duration(int64(pktLen) * 8 * int64(sim.Second) / (int64(rateKbps) * 1000))
+	var ipID uint16
+	var tick func()
+	tick = func() {
+		ipID++
+		p := &packet.Packet{
+			IP:         packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, ID: ipID, Src: srcIP, Dst: dst},
+			UDP:        &packet.UDP{SrcPort: 9, DstPort: 9},
+			PayloadLen: pktLen - packet.IPv4HeaderLen - packet.UDPHeaderLen,
+		}
+		if n.wireDn != nil {
+			n.wireDn.Send(p)
+		} else {
+			n.AP.route(p)
+		}
+		n.Sched.After(interval, tick)
+	}
+	n.Sched.At(sim.Time(startAt), tick)
+}
+
+// Run advances the simulation to the given time.
+func (n *Network) Run(until sim.Duration) {
+	n.Sched.RunUntil(sim.Time(until))
+}
+
+// DecompFailures totals ROHC decompression failures across all nodes —
+// the paper's §4.3 health check (must be zero).
+func (n *Network) DecompFailures() uint64 {
+	total := n.AP.Driver.DecompFailures
+	for _, c := range n.Clients {
+		total += c.Driver.DecompFailures
+	}
+	return total
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("network[%d clients, %v, mode=%v]", len(n.Clients), n.Cfg.DataRate, n.Cfg.Mode)
+}

@@ -1,0 +1,623 @@
+// Package rohc implements the TCP ACK header compression TCP/HACK
+// carries inside link-layer acknowledgments.
+//
+// The scheme follows RFC 6846 (ROHC-TCP) in structure — per-flow
+// contexts holding the static five-tuple and dynamic header fields,
+// delta encoding against the context, a master sequence number (MSN)
+// for duplicate elimination, and a CRC over the original header to
+// validate decompression — with the paper's §3.3.2 simplifications:
+//
+//   - No Initialize/Refresh packets: contexts are established by
+//     observing TCP ACKs that travel natively (uncompressed), which
+//     both ends see.
+//   - Context IDs are computed independently at each end as the lowest
+//     byte of the MD5 hash over the flow five-tuple.
+//   - The first compressed ACK in a frame carries its full 8-bit MSN
+//     (an A-MPDU can carry 64 packets, so 4 LSBs are not enough);
+//     subsequent ACKs carry 4 bits.
+//
+// A compressed ACK occupies 3 bytes when the flow's cumulative-ACK
+// stride and timestamp advance match the learned pattern (the paper's
+// "3 bytes if the associated flow transmits a constant payload size"),
+// and ~4–6 bytes otherwise.
+package rohc
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tcphack/internal/packet"
+)
+
+// CID computes the context identifier for a flow: the lowest byte of
+// the MD5 hash over the five-tuple (paper §3.3.2). Both ends compute
+// it independently; no negotiation messages are exchanged.
+func CID(t packet.FiveTuple) byte {
+	var b [13]byte
+	copy(b[0:4], t.Src[:])
+	copy(b[4:8], t.Dst[:])
+	binary.BigEndian.PutUint16(b[8:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[10:], t.DstPort)
+	b[12] = t.Proto
+	sum := md5.Sum(b[:])
+	return sum[len(sum)-1]
+}
+
+// crc8 implements the ROHC CRC-8 (RFC 5795 §5.3.1.1: polynomial
+// x^8 + x^2 + x + 1), computed over the original uncompressed header
+// bytes so the decompressor can validate its reconstruction.
+func crc8(data []byte) byte {
+	crc := byte(0xff)
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// headerCRC computes the validation CRC over a pure ACK's wire image.
+func headerCRC(p *packet.Packet) byte { return crc8(p.Marshal()) }
+
+// Compressed-format flag bits (high nibble of the second byte).
+const (
+	flagExtMSN      = 0x8 // full 8-bit MSN byte follows
+	flagAckExplicit = 0x4 // varint ACK delta follows (else ACK advances by the learned stride)
+	flagWinChanged  = 0x2 // 2-byte window follows
+	flagOptExt      = 0x1 // options byte follows
+)
+
+// Options-byte bits.
+const (
+	optTS         = 0x80 // timestamps present on this ACK
+	optTSExplicit = 0x40 // varint TS deltas follow (else learned strides apply)
+	optIPID       = 0x20 // varint IP-ID delta follows (else learned stride applies)
+	optSeqChanged = 0x10 // signed varint SEQ delta follows
+	optSACKShift  = 2    // bits 3:2 hold the SACK block count (0–3)
+	optSACKMask   = 0x0c
+)
+
+// context holds the shared compressor/decompressor state for one flow.
+// The two ends evolve their contexts identically because they process
+// the same sequence of ACKs (natively observed or compressed-delivered,
+// duplicates excluded).
+type context struct {
+	tuple packet.FiveTuple
+	ttl   byte
+	tos   byte
+	ipID  uint16
+
+	seq, ack     uint32
+	window       uint16
+	tsVal, tsEcr uint32
+	hasTS        bool
+
+	ackStride   uint32 // learned cumulative-ACK advance
+	lastAckD    uint32
+	tsValStride uint32
+	lastTSValD  uint32
+	tsEcrStride uint32
+	lastTSEcrD  uint32
+	ipIDStride  uint16 // learned per-packet IP-ID advance (RFC 6846 §6.1.1)
+	lastIPIDD   uint16
+
+	msn     uint8 // compressor: last assigned; decompressor: last delivered
+	started bool  // decompressor: any compressed ACK delivered yet
+	valid   bool  // decompressor: context trusted (cleared on CRC failure)
+}
+
+// learn updates the stride predictors after an ACK with the given
+// deltas has been processed. A stride is trusted after two consecutive
+// equal non-zero deltas — both ends apply the same rule to the same
+// delta sequence, keeping predictors in lockstep.
+func (c *context) learn(ackD, tsValD, tsEcrD uint32, ipIDD uint16) {
+	if ackD != 0 && ackD == c.lastAckD {
+		c.ackStride = ackD
+	}
+	c.lastAckD = ackD
+	if tsValD == c.lastTSValD {
+		c.tsValStride = tsValD
+	}
+	c.lastTSValD = tsValD
+	if tsEcrD == c.lastTSEcrD {
+		c.tsEcrStride = tsEcrD
+	}
+	c.lastTSEcrD = tsEcrD
+	if ipIDD == c.lastIPIDD {
+		c.ipIDStride = ipIDD
+	}
+	c.lastIPIDD = ipIDD
+}
+
+// absorb installs the absolute state of a natively-travelling ACK —
+// the IR-equivalent context refresh. Stride predictors reset: they are
+// learned from per-packet histories, and the compressor's (every
+// compressed ACK) and decompressor's (every delivered ACK) histories
+// can differ across a loss. Resetting on every re-anchor puts both
+// ends in the same known state; the compressor encodes explicitly
+// until the predictors re-lock from the shared chain.
+func (c *context) absorb(p *packet.Packet) {
+	t := p.TCP
+	c.tuple = tupleOf(p)
+	c.ttl, c.tos, c.ipID = p.IP.TTL, p.IP.TOS, p.IP.ID
+	c.seq, c.ack = t.Seq, t.Ack
+	c.window = t.Window
+	c.hasTS = t.Opt.HasTimestamps
+	c.tsVal, c.tsEcr = t.Opt.TSVal, t.Opt.TSEcr
+	c.valid = true
+	c.ackStride, c.lastAckD = 0, 0
+	c.tsValStride, c.lastTSValD = 0, 0
+	c.tsEcrStride, c.lastTSEcrD = 0, 0
+	c.ipIDStride, c.lastIPIDD = 0, 0
+}
+
+func tupleOf(p *packet.Packet) packet.FiveTuple {
+	t, _ := p.Tuple()
+	return t
+}
+
+// Compressor turns pure TCP ACKs into compressed representations.
+type Compressor struct {
+	contexts map[byte]*context
+}
+
+// NewCompressor returns an empty compressor.
+func NewCompressor() *Compressor {
+	return &Compressor{contexts: make(map[byte]*context)}
+}
+
+// shouldAbsorb decides whether a natively-travelling ACK re-anchors a
+// context. Both ends apply the same rule to the same packets, keeping
+// their delta references aligned:
+//
+//   - a missing or damaged context absorbs (bootstrap / §3.4 healing);
+//   - a valid context owned by a different flow (CID collision) never
+//     absorbs — the colliding flow permanently falls back to native
+//     ACKs;
+//   - otherwise absorb if the ACK is at least as new as the chain
+//     state. Equal-state natives (re-sync duplicates) absorb at BOTH
+//     ends — resetting stride predictors symmetrically — while
+//     strictly older copies are skipped at both, so the chain
+//     references can never fork.
+func (c *context) shouldAbsorb(p *packet.Packet) bool {
+	if !c.valid {
+		return true
+	}
+	if c.tuple != tupleOf(p) {
+		return false
+	}
+	return int32(p.TCP.Ack-c.ack) >= 0
+}
+
+// Observe records a TCP ACK that is travelling natively so the
+// compression context can re-anchor on it. Call it for every pure ACK
+// sent outside of HACK.
+func (c *Compressor) Observe(p *packet.Packet) {
+	if !p.IsTCPAck() {
+		return
+	}
+	cid := CID(tupleOf(p))
+	ctx, ok := c.contexts[cid]
+	if !ok {
+		ctx = &context{}
+		c.contexts[cid] = ctx
+	}
+	if !ctx.shouldAbsorb(p) {
+		return
+	}
+	ctx.absorb(p)
+	// The MSN counter deliberately survives the absorb: it must stay
+	// monotone for the decompressor's dedup window even when the two
+	// ends absorb a given native at different chain positions (the
+	// decompressor resets its `started` latch instead, accepting
+	// whatever MSN the next compressed ACK carries).
+}
+
+// Anchor widens a compressed ACK's master sequence number to the
+// 8-bit form (paper §3.4: the first compressed ACK in a link-layer
+// ACK carries its full MSN, since an A-MPDU can elicit 64 of them).
+// The driver applies it at frame-assembly time to the first ACK of
+// each flow in the payload — mirroring the paper's NIC, which widens
+// the leading descriptor's MSN when it concatenates the frame.
+func Anchor(data []byte, msn uint8) []byte {
+	if len(data) < 2 || data[1]>>4&flagExtMSN != 0 {
+		// Already anchored (or malformed); return as-is.
+		return data
+	}
+	out := make([]byte, 0, len(data)+1)
+	out = append(out, data[0], data[1]|flagExtMSN<<4, msn)
+	return append(out, data[2:]...)
+}
+
+// Compress encodes a pure TCP ACK against its flow context, in the
+// compact 4-bit-MSN form; msn is the ACK's full master sequence
+// number, which the frame assembler passes to Anchor for the first
+// ACK of each flow in a frame. It returns ok=false when the ACK
+// cannot travel compressed (no context yet, option shape change, >3
+// SACK blocks); such ACKs must travel natively, which establishes the
+// context at both ends.
+func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool) {
+	if !p.IsTCPAck() {
+		return nil, 0, false
+	}
+	tuple := tupleOf(p)
+	cid := CID(tuple)
+	ctx, exists := c.contexts[cid]
+	if !exists || !ctx.valid || ctx.tuple != tuple {
+		return nil, 0, false
+	}
+	t := p.TCP
+	if t.Opt.HasTimestamps != ctx.hasTS {
+		return nil, 0, false // option shape changed; refresh natively
+	}
+
+	nSACK := len(t.Opt.SACKBlocks)
+	if nSACK > 3 {
+		return nil, 0, false // beyond the encodable range; send natively
+	}
+
+	ctx.msn++
+	msn = ctx.msn
+
+	ackD := t.Ack - ctx.ack
+	seqD := int64(int32(t.Seq - ctx.seq))
+	tsValD := t.Opt.TSVal - ctx.tsVal
+	tsEcrD := t.Opt.TSEcr - ctx.tsEcr
+	ipIDD := p.IP.ID - ctx.ipID
+
+	var flags byte
+	ackImplicit := ctx.ackStride != 0 && ackD == ctx.ackStride
+	if !ackImplicit {
+		flags |= flagAckExplicit
+	}
+	if t.Window != ctx.window {
+		flags |= flagWinChanged
+	}
+
+	var opt byte
+	if ctx.hasTS {
+		opt |= optTS
+		if tsValD != ctx.tsValStride || tsEcrD != ctx.tsEcrStride {
+			opt |= optTSExplicit
+		}
+	}
+	if ipIDD != ctx.ipIDStride {
+		opt |= optIPID
+	}
+	if seqD != 0 {
+		opt |= optSeqChanged
+	}
+	opt |= byte(nSACK) << optSACKShift
+	if opt != 0 {
+		flags |= flagOptExt
+	}
+
+	buf := make([]byte, 0, 8)
+	buf = append(buf, cid, flags<<4|msn&0x0f)
+	var tmp [binary.MaxVarintLen64]byte
+	if !ackImplicit {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(ackD))]...)
+	}
+	if flags&flagWinChanged != 0 {
+		buf = append(buf, byte(t.Window>>8), byte(t.Window))
+	}
+	if flags&flagOptExt != 0 {
+		buf = append(buf, opt)
+		if opt&optTS != 0 && opt&optTSExplicit != 0 {
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(tsValD))]...)
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(tsEcrD))]...)
+		}
+		if opt&optIPID != 0 {
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(ipIDD))]...)
+		}
+		if opt&optSeqChanged != 0 {
+			buf = append(buf, tmp[:binary.PutVarint(tmp[:], seqD)]...)
+		}
+		for _, blk := range t.Opt.SACKBlocks {
+			rel := blk[0] - t.Ack
+			length := blk[1] - blk[0]
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(rel))]...)
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(length))]...)
+		}
+	}
+	buf = append(buf, headerCRC(p))
+
+	// Commit the context only after a successful encode.
+	ctx.seq, ctx.ack = t.Seq, t.Ack
+	ctx.window = t.Window
+	ctx.tsVal, ctx.tsEcr = t.Opt.TSVal, t.Opt.TSEcr
+	ctx.ipID = p.IP.ID
+	ctx.learn(ackD, tsValD, tsEcrD, ipIDD)
+	return buf, msn, true
+}
+
+// Result reports the outcome of decompressing one HACK frame.
+type Result struct {
+	// Packets are the reconstituted TCP ACKs, in frame order,
+	// duplicates excluded.
+	Packets []*packet.Packet
+	// Duplicates counts ACKs discarded by MSN-based dedup (normal
+	// under link-layer retransmission, paper Figure 6).
+	Duplicates int
+	// Failures counts ACKs dropped because of CRC mismatch or missing
+	// context — a context damage event.
+	Failures int
+	// Failure breakdown (diagnostics).
+	FailNoAnchor  int // first-of-flow ACK lacked the 8-bit MSN
+	FailNoContext int // no valid context for the CID
+	FailCRC       int // reconstruction rejected by the header CRC
+}
+
+// Decompressor reconstitutes TCP ACKs from compressed HACK frames.
+type Decompressor struct {
+	contexts map[byte]*context
+}
+
+// NewDecompressor returns an empty decompressor.
+func NewDecompressor() *Decompressor {
+	return &Decompressor{contexts: make(map[byte]*context)}
+}
+
+// debugLog, when set, receives decompressor diagnostics (tests only).
+var debugLog func(format string, args ...any)
+
+// SetDebugLog installs a diagnostic logger (tests only).
+func SetDebugLog(f func(string, ...any)) { debugLog = f }
+
+// Observe records a natively-received TCP ACK, establishing the flow
+// context, re-anchoring it on newer state, or restoring it after CRC
+// damage. The absorb rule mirrors the compressor's exactly.
+func (d *Decompressor) Observe(p *packet.Packet) {
+	if !p.IsTCPAck() {
+		return
+	}
+	cid := CID(tupleOf(p))
+	ctx, ok := d.contexts[cid]
+	if !ok {
+		ctx = &context{}
+		d.contexts[cid] = ctx
+	}
+	if !ctx.shouldAbsorb(p) {
+		if debugLog != nil {
+			debugLog("OBS-SKIP cid=%d native.ack=%d ctx.ack=%d valid=%v", cid, p.TCP.Ack, ctx.ack, ctx.valid)
+		}
+		return
+	}
+	if debugLog != nil {
+		debugLog("OBS-ABSORB cid=%d native.ack=%d ctx.ack=%d wasvalid=%v", cid, p.TCP.Ack, ctx.ack, ctx.valid)
+	}
+	ctx.absorb(p)
+	ctx.msn = 0
+	ctx.started = false
+}
+
+var (
+	errTruncated = errors.New("rohc: truncated compressed frame")
+	errVarint    = errors.New("rohc: bad varint")
+)
+
+// Decompress parses a HACK frame (a concatenation of compressed ACKs)
+// and returns the reconstituted, deduplicated packets. A parse error
+// aborts the remainder of the frame (framing is self-delimiting only
+// while the stream is intact); per-ACK CRC or context failures skip
+// the affected ACK and poison its context until a native refresh.
+func (d *Decompressor) Decompress(frame []byte) (Result, error) {
+	var res Result
+	prevMSN := make(map[byte]uint8) // per-CID MSN chain within this frame
+	i := 0
+	for i < len(frame) {
+		n, err := d.one(frame[i:], prevMSN, &res)
+		if err != nil {
+			return res, fmt.Errorf("at offset %d: %w", i, err)
+		}
+		i += n
+	}
+	return res, nil
+}
+
+// one parses a single compressed ACK, returning its encoded length.
+func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, error) {
+	if len(b) < 3 {
+		return 0, errTruncated
+	}
+	cid := b[0]
+	flags := b[1] >> 4
+	msnLow := b[1] & 0x0f
+	i := 2
+
+	ctx := d.contexts[cid]
+
+	var msn uint8
+	haveMSN := true
+	if flags&flagExtMSN != 0 {
+		if i >= len(b) {
+			return 0, errTruncated
+		}
+		msn = b[i]
+		i++
+	} else if prev, ok := prevMSN[cid]; ok {
+		// Reconstruct the full MSN from 4 LSBs against the previous ACK
+		// of the same flow in this frame: batch ACKs are consecutive,
+		// so snap to the candidate nearest prev+1.
+		expected := prev + 1
+		msn = expected&0xf0 | msnLow
+		if d := int8(msn - expected); d > 8 {
+			msn -= 16
+		} else if d < -8 {
+			msn += 16
+		}
+	} else {
+		// No anchor: the encoder contract (BatchEncoder) was violated
+		// or the anchor was unparseable. The ACK cannot be trusted.
+		haveMSN = false
+	}
+
+	var ackD uint64
+	ackExplicit := flags&flagAckExplicit != 0
+	if ackExplicit {
+		v, n := binary.Uvarint(b[i:])
+		if n <= 0 {
+			return 0, errVarint
+		}
+		ackD, i = v, i+n
+	}
+	var window uint16
+	if flags&flagWinChanged != 0 {
+		if i+2 > len(b) {
+			return 0, errTruncated
+		}
+		window = uint16(b[i])<<8 | uint16(b[i+1])
+		i += 2
+	}
+	var opt byte
+	var tsValD, tsEcrD uint64
+	tsExplicit := false
+	var ipIDD uint64
+	ipIDExplicit := false
+	var seqD int64
+	var sacks [][2]uint32 // relative (offset, length) pairs
+	if flags&flagOptExt != 0 {
+		if i >= len(b) {
+			return 0, errTruncated
+		}
+		opt = b[i]
+		i++
+		if opt&optTS != 0 && opt&optTSExplicit != 0 {
+			tsExplicit = true
+			v, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			tsValD, i = v, i+n
+			v, n = binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			tsEcrD, i = v, i+n
+		}
+		if opt&optIPID != 0 {
+			ipIDExplicit = true
+			v, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			ipIDD, i = v, i+n
+		}
+		if opt&optSeqChanged != 0 {
+			v, n := binary.Varint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			seqD, i = v, i+n
+		}
+		for k := 0; k < int(opt&optSACKMask>>optSACKShift); k++ {
+			rel, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			i += n
+			length, n := binary.Uvarint(b[i:])
+			if n <= 0 {
+				return 0, errVarint
+			}
+			i += n
+			sacks = append(sacks, [2]uint32{uint32(rel), uint32(length)})
+		}
+	}
+	if i >= len(b) {
+		return 0, errTruncated
+	}
+	wantCRC := b[i]
+	i++
+
+	if !haveMSN {
+		res.Failures++
+		res.FailNoAnchor++
+		return i, nil
+	}
+	prevMSN[cid] = msn
+
+	if ctx == nil || !ctx.valid {
+		res.Failures++
+		res.FailNoContext++
+		return i, nil
+	}
+
+	// MSN dedup: deliver only ACKs newer than the last delivered one.
+	if ctx.started {
+		if delta := msn - ctx.msn; delta == 0 || delta >= 128 {
+			res.Duplicates++
+			return i, nil
+		}
+	}
+
+	// Reconstruct the full packet from context + deltas.
+	if !ackExplicit {
+		ackD = uint64(ctx.ackStride)
+	}
+	if opt&optTS != 0 && !tsExplicit {
+		tsValD, tsEcrD = uint64(ctx.tsValStride), uint64(ctx.tsEcrStride)
+	}
+	if !ipIDExplicit {
+		ipIDD = uint64(ctx.ipIDStride)
+	}
+	p := &packet.Packet{
+		IP: packet.IPv4{
+			TOS: ctx.tos, TTL: ctx.ttl, ID: ctx.ipID + uint16(ipIDD),
+			Protocol: packet.ProtoTCP,
+			Src:      ctx.tuple.Src, Dst: ctx.tuple.Dst,
+		},
+		TCP: &packet.TCP{
+			SrcPort: ctx.tuple.SrcPort, DstPort: ctx.tuple.DstPort,
+			Seq: ctx.seq + uint32(seqD), Ack: ctx.ack + uint32(ackD),
+			Flags: packet.FlagACK,
+		},
+	}
+	if flags&flagWinChanged != 0 {
+		p.TCP.Window = window
+	} else {
+		p.TCP.Window = ctx.window
+	}
+	if opt&optTS != 0 {
+		p.TCP.Opt.HasTimestamps = true
+		p.TCP.Opt.TSVal = ctx.tsVal + uint32(tsValD)
+		p.TCP.Opt.TSEcr = ctx.tsEcr + uint32(tsEcrD)
+	}
+	for _, s := range sacks {
+		left := p.TCP.Ack + s[0]
+		p.TCP.Opt.SACKBlocks = append(p.TCP.Opt.SACKBlocks, [2]uint32{left, left + s[1]})
+	}
+
+	if debugLog != nil && headerCRC(p) != wantCRC {
+		debugLog("CRCFAIL cid=%d msn=%d ctx.ack=%d recon=[ack=%d seq=%d win=%d tsv=%d tse=%d ipid=%d] strides[ack=%d tsv=%d tse=%d ipid=%d] lasts[%d %d %d %d] flags=%x opt=%x started=%v",
+			cid, msn, ctx.ack, p.TCP.Ack, p.TCP.Seq, p.TCP.Window, p.TCP.Opt.TSVal, p.TCP.Opt.TSEcr, p.IP.ID,
+			ctx.ackStride, ctx.tsValStride, ctx.tsEcrStride, ctx.ipIDStride,
+			ctx.lastAckD, ctx.lastTSValD, ctx.lastTSEcrD, ctx.lastIPIDD, flags, opt, ctx.started)
+	}
+	if headerCRC(p) != wantCRC {
+		// Context damage: reject and distrust until a native refresh
+		// (paper §3.4 — damage must not persist; the flow's next native
+		// ACK restores synchronization).
+		ctx.valid = false
+		res.Failures++
+		res.FailCRC++
+		return i, nil
+	}
+
+	ctx.seq, ctx.ack = p.TCP.Seq, p.TCP.Ack
+	ctx.window = p.TCP.Window
+	ctx.tsVal, ctx.tsEcr = p.TCP.Opt.TSVal, p.TCP.Opt.TSEcr
+	ctx.ipID = p.IP.ID
+	ctx.learn(uint32(ackD), uint32(tsValD), uint32(tsEcrD), uint16(ipIDD))
+	ctx.msn = msn
+	ctx.started = true
+	res.Packets = append(res.Packets, p)
+	return i, nil
+}

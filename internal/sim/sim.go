@@ -1,0 +1,202 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All protocol modules in this repository are driven by a single
+// Scheduler: they schedule closures at absolute or relative virtual
+// times, and the Scheduler runs them in (time, insertion-order) order.
+// Determinism is guaranteed for a fixed seed: the engine itself never
+// consults wall-clock time or global randomness, and ties between events
+// scheduled for the same instant are broken by insertion order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation. Nanosecond granularity comfortably represents every
+// 802.11 interval we model (the shortest, a 400 ns guard interval, is
+// 400 ticks).
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration's constants so call sites
+// read naturally (sim.Microsecond, 4*sim.Millisecond, ...).
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as seconds with microsecond precision, which
+// is the most readable unit at 802.11 timescales.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Timer is a handle to a scheduled event. The zero Timer is invalid;
+// timers are created by Scheduler.At / Scheduler.After.
+type Timer struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// Cancelled reports whether the timer was stopped or has fired.
+func (t *Timer) Cancelled() bool { return t.index < 0 }
+
+// At returns the virtual time the timer is scheduled for.
+func (t *Timer) At() Time { return t.at }
+
+// eventHeap orders timers by (time, sequence). Sequence numbers are
+// assigned in scheduling order, so simultaneous events run FIFO.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler is the discrete-event core. It is not safe for concurrent
+// use; simulations are single-goroutine by design (determinism).
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	fired  uint64 // total events executed, for diagnostics
+}
+
+// NewScheduler returns a scheduler whose random stream is seeded with
+// seed. Two schedulers with equal seeds and equal event programs
+// produce identical executions.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random stream. Modules
+// must draw all randomness from here (or from streams forked via
+// ForkRand) to preserve reproducibility.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// ForkRand derives an independent deterministic stream. Use one stream
+// per stochastic subsystem so adding draws in one module does not
+// perturb another.
+func (s *Scheduler) ForkRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
+
+// EventsFired returns the number of events executed so far.
+func (s *Scheduler) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a protocol bug, and silently reordering
+// time would invalidate every simulation result.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return t
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel stops a pending timer. Cancelling an already-fired or
+// already-cancelled timer is a no-op, so callers can cancel
+// unconditionally.
+func (s *Scheduler) Cancel(t *Timer) {
+	if t == nil || t.index < 0 {
+		return
+	}
+	heap.Remove(&s.events, t.index)
+	t.index = -1
+	t.fn = nil
+}
+
+// Reschedule cancels t (if pending) and schedules fn at the new time,
+// returning the replacement timer.
+func (s *Scheduler) Reschedule(t *Timer, d Duration, fn func()) *Timer {
+	s.Cancel(t)
+	return s.After(d, fn)
+}
+
+// Step executes the single earliest pending event. It reports false if
+// no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	t := heap.Pop(&s.events).(*Timer)
+	s.now = t.at
+	fn := t.fn
+	t.fn = nil
+	s.fired++
+	fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event
+// is later than limit. The clock is left at the time of the last
+// executed event, or advanced to limit if limit is reached.
+func (s *Scheduler) RunUntil(limit Time) {
+	for len(s.events) > 0 && s.events[0].at <= limit {
+		s.Step()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+// Run executes events until none remain. Protocol stacks with
+// keepalive-style recurring timers never drain, so most callers want
+// RunUntil; Run exists for self-terminating test programs.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

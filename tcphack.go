@@ -1,0 +1,134 @@
+// Package tcphack is a from-scratch reproduction of "HACK:
+// Hierarchical ACKs for Efficient Wireless Medium Utilization"
+// (Salameh, Zhushi, Handley, Jamieson, Karp — USENIX ATC 2014):
+// TCP/HACK carries compressed TCP acknowledgments inside 802.11
+// link-layer acknowledgments, eliminating the medium acquisitions that
+// TCP ACK packets otherwise require.
+//
+// The package is the public facade over the full system:
+//
+//   - a deterministic discrete-event 802.11a/n simulator
+//     (internal/sim, internal/phy, internal/channel, internal/mac);
+//   - a standards-shaped TCP stack (internal/tcp) and real IPv4/TCP
+//     wire formats (internal/packet);
+//   - ROHC-style TCP ACK compression (internal/rohc);
+//   - the HACK driver itself (internal/hack) with the MORE DATA,
+//     opportunistic, and timer holding policies;
+//   - network composition (internal/node), closed-form capacity models
+//     (internal/analytical), and runners for every table and figure in
+//     the paper's evaluation (internal/experiments).
+//
+// Quick start: build a network, start a flow, measure.
+//
+//	cfg := tcphack.Scenario80211n(tcphack.ModeMoreData, 1)
+//	n := tcphack.NewNetwork(cfg)
+//	flow := n.StartDownload(0, 0, 0)
+//	n.Run(2 * tcphack.Second)
+//	flow.Goodput.MarkWindow(n.Sched.Now())
+//	n.Run(8 * tcphack.Second)
+//	fmt.Printf("%.1f Mbps\n", flow.Goodput.WindowMbps(n.Sched.Now()))
+package tcphack
+
+import (
+	"tcphack/internal/analytical"
+	"tcphack/internal/experiments"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+// Re-exported core types.
+type (
+	// NetworkConfig parameterizes a simulated WLAN (see node.Config).
+	NetworkConfig = node.Config
+	// Network is an assembled simulation.
+	Network = node.Network
+	// Flow is one TCP transfer with measurement hooks.
+	Flow = node.Flow
+	// Mode selects the HACK ACK-holding policy.
+	Mode = hack.Mode
+	// Rate is an 802.11 PHY rate.
+	Rate = phy.Rate
+	// Duration is simulated time in nanoseconds.
+	Duration = sim.Duration
+	// ExperimentOptions scales the paper-reproduction runners.
+	ExperimentOptions = experiments.Options
+	// AnalyticalParams parameterizes the closed-form capacity models.
+	AnalyticalParams = analytical.Params
+)
+
+// HACK modes.
+const (
+	ModeOff           = hack.ModeOff
+	ModeMoreData      = hack.ModeMoreData
+	ModeOpportunistic = hack.ModeOpportunistic
+	ModeTimer         = hack.ModeTimer
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewNetwork assembles a network from cfg.
+func NewNetwork(cfg NetworkConfig) *Network { return node.New(cfg) }
+
+// Rate54Mbps is the top 802.11a rate (the SoRa testbed's setting).
+var Rate54Mbps = phy.RateA54
+
+// HTRate returns the 802.11n rate for an MCS index (0–7) and spatial
+// stream count (1–4) at 40 MHz / 400 ns GI; HTRate(7, 1) is the
+// paper's 150 Mbps configuration.
+func HTRate(mcs, streams int) Rate { return phy.HTRate(mcs, streams) }
+
+// Scenario80211n builds the paper's §4.3 simulation scenario:
+// 150 Mbps 802.11n with A-MPDU aggregation, 24 Mbps link-layer ACKs,
+// a 4 ms TXOP limit, and a 500 Mbps / 1 ms wired backhaul.
+func Scenario80211n(mode Mode, clients int) NetworkConfig {
+	return NetworkConfig{
+		Seed:         1,
+		Mode:         mode,
+		DataRate:     phy.HTRate(7, 1),
+		AckRate:      phy.RateA24,
+		Aggregation:  true,
+		TXOPLimit:    4 * sim.Millisecond,
+		Clients:      clients,
+		APQueueLimit: 126,
+		WireRateKbps: 500_000,
+		WireDelay:    sim.Millisecond,
+	}
+}
+
+// ScenarioSoRa builds the paper's §4.1 testbed model: 802.11a at
+// 54 Mbps, the AP as TCP sender (ad-hoc mode), and SoRa's 37 µs late
+// link-layer ACKs with a widened ACK timeout.
+func ScenarioSoRa(mode Mode, clients int) NetworkConfig {
+	return NetworkConfig{
+		Seed:            1,
+		Mode:            mode,
+		DataRate:        phy.RateA54,
+		Clients:         clients,
+		AckTurnaround:   37 * sim.Microsecond,
+		AckTimeoutSlack: 80 * sim.Microsecond,
+		APQueueLimit:    126,
+	}
+}
+
+// Experiment runners (one per table/figure in the paper).
+var (
+	Fig1a           = experiments.Fig1a
+	Fig1b           = experiments.Fig1b
+	Fig9            = experiments.Fig9
+	Fig10           = experiments.Fig10
+	Fig11           = experiments.Fig11
+	Fig12           = experiments.Fig12
+	Table2          = experiments.Table2
+	Table3          = experiments.Table3
+	CrossValidation = experiments.CrossValidation
+)
+
+// AnalyticalDefaults returns the paper's capacity-model parameters.
+func AnalyticalDefaults() AnalyticalParams { return analytical.Defaults() }
