@@ -1,7 +1,9 @@
 // Command hackbench regenerates the paper's tables and figures as
-// text. With no flags it runs everything at the default (quick)
-// durations; -all with -measure/-runs scales up toward the paper's
-// full methodology.
+// text, running each experiment's scenario grid as a parallel
+// campaign, and runs ad-hoc sweeps over any named scenario with
+// CSV/JSON output. With no flags it runs every figure and table at
+// the default (quick) durations; -measure/-runs scale up toward the
+// paper's full methodology.
 //
 // Usage:
 //
@@ -10,6 +12,11 @@
 //	hackbench -table 2           # one table
 //	hackbench -xval              # §4.2 cross-validation
 //	hackbench -measure 10s -runs 5 -fig 10
+//	hackbench -workers 4 -fig 11 # bound the worker pool
+//
+//	# ad-hoc campaign: sweep a named scenario, emit structured rows
+//	hackbench -sweep ht150-stock -sweep-modes off,more-data \
+//	    -sweep-clients 1,2,4,10 -runs 3 -format csv
 package main
 
 import (
@@ -17,10 +24,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
-	"tcphack/internal/experiments"
-	"tcphack/internal/sim"
+	"tcphack"
 )
 
 func main() {
@@ -31,13 +39,28 @@ func main() {
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup before measurement (simulated)")
 	runs := flag.Int("runs", 1, "repetitions to average (paper used 5)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	sweep := flag.String("sweep", "", "run an ad-hoc campaign over this named scenario (see hacksim -list)")
+	sweepModes := flag.String("sweep-modes", "", "comma-separated HACK modes to sweep (off,more-data,opportunistic,timer)")
+	sweepClients := flag.String("sweep-clients", "", "comma-separated client counts to sweep")
+	sweepLoss := flag.String("sweep-loss", "", "comma-separated uniform loss probabilities to sweep")
+	format := flag.String("format", "text", "sweep output: text, csv, json")
 	flag.Parse()
 
-	o := experiments.Options{
-		Warmup:  sim.Duration(*warmup),
-		Measure: sim.Duration(*measure),
+	o := tcphack.ExperimentOptions{
+		Warmup:  tcphack.Duration(*warmup),
+		Measure: tcphack.Duration(*measure),
 		Runs:    *runs,
 		Seed:    *seed,
+		Workers: *workers,
+	}
+
+	if *sweep != "" {
+		if err := runSweep(*sweep, *sweepModes, *sweepClients, *sweepLoss, o, *format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	all := *fig == "" && *table == 0 && !*xval
@@ -68,9 +91,74 @@ func main() {
 	}
 }
 
+// runSweep executes an ad-hoc campaign over a named scenario.
+func runSweep(name, modesCSV, clientsCSV, lossCSV string, o tcphack.ExperimentOptions, format string) error {
+	switch format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv, or json)", format)
+	}
+	base, ok := tcphack.LookupScenario(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q; hacksim -list shows the registry", name)
+	}
+	axes := tcphack.CampaignAxes{Seeds: tcphack.CampaignSeeds(o.Seed, o.Runs)}
+	if modesCSV != "" {
+		for _, s := range strings.Split(modesCSV, ",") {
+			m, err := tcphack.ParseMode(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			axes.Modes = append(axes.Modes, m)
+		}
+	}
+	if clientsCSV != "" {
+		for _, s := range strings.Split(clientsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad client count %q", s)
+			}
+			axes.Clients = append(axes.Clients, n)
+		}
+	}
+	if lossCSV != "" {
+		for _, s := range strings.Split(lossCSV, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad loss probability %q", s)
+			}
+			axes.Loss = append(axes.Loss, p)
+		}
+	}
+
+	results := tcphack.RunCampaign(tcphack.Campaign{
+		Name:    name,
+		Base:    base,
+		Axes:    axes,
+		Warmup:  o.Warmup,
+		Measure: o.Measure,
+		Workers: o.Workers,
+	})
+	switch format {
+	case "json":
+		return results.WriteJSON(os.Stdout)
+	case "csv":
+		return results.WriteCSV(os.Stdout)
+	default:
+		fmt.Printf("%-16s %-14s %8s %6s %9s %10s %8s %10s\n",
+			"campaign", "mode", "clients", "seed", "loss%", "Mbps", "busy%", "no-retry%")
+		for _, r := range results {
+			fmt.Printf("%-16s %-14s %8d %6d %9.2f %10.2f %8.1f %10.1f\n",
+				r.Campaign, r.ModeName, r.Clients, r.Seed, r.LossPct,
+				r.AggregateMbps, r.AirtimeBusyPct, r.NoRetryPct)
+		}
+		return nil
+	}
+}
+
 func fig1a() {
 	fmt.Printf("%-8s %10s %10s %10s %8s\n", "rate", "TCP", "TCP/HACK", "UDP", "gain")
-	for _, r := range experiments.Fig1a() {
+	for _, r := range tcphack.Fig1a() {
 		fmt.Printf("%-8v %8.1f M %8.1f M %8.1f M %+7.1f%%\n",
 			r.Rate, r.TCPMbps, r.HACKMbps, r.UDPMbps, r.GainPct)
 	}
@@ -79,15 +167,15 @@ func fig1a() {
 
 func fig1b() {
 	fmt.Printf("%-14s %6s %10s %10s %10s %8s\n", "rate", "batch", "TCP", "TCP/HACK", "UDP", "gain")
-	for _, r := range experiments.Fig1b() {
+	for _, r := range tcphack.Fig1b() {
 		fmt.Printf("%-14v %6d %8.1f M %8.1f M %8.1f M %+7.1f%%\n",
 			r.Rate, r.BatchMPDUs, r.TCPMbps, r.HACKMbps, r.UDPMbps, r.GainPct)
 	}
 	fmt.Println("paper: ≈8% average gain < 100 Mbps, ≈20% at 600 Mbps.")
 }
 
-func fig9(o experiments.Options) {
-	cells := experiments.Fig9(o)
+func fig9(o tcphack.ExperimentOptions) {
+	cells := tcphack.Fig9(o)
 	fmt.Printf("%-6s %-8s %14s %14s %12s\n", "proto", "clients", "per-client", "total Mbps", "no-retry %")
 	for _, c := range cells {
 		per := ""
@@ -103,8 +191,8 @@ func fig9(o experiments.Options) {
 	fmt.Println("paper Tab 1: no-retry 99% UDP / 97-98% HACK / 86-88% TCP.")
 }
 
-func table2(o experiments.Options) {
-	rows := experiments.Table2(o, 25<<20)
+func table2(o tcphack.ExperimentOptions) {
+	rows := tcphack.Table2(o, 25<<20)
 	fmt.Printf("%-18s %10s %12s %10s %12s %8s\n",
 		"protocol", "ACK count", "ACK bytes", "ACKC cnt", "ACKC bytes", "ratio")
 	for _, r := range rows {
@@ -114,8 +202,8 @@ func table2(o experiments.Options) {
 	fmt.Println("paper: 9060/471120 native (TCP) vs 10 native + 9050 compressed/39478 B, ratio 12 (HACK).")
 }
 
-func table3(o experiments.Options) {
-	rows := experiments.Table3(o, 25<<20)
+func table3(o tcphack.ExperimentOptions) {
+	rows := tcphack.Table3(o, 25<<20)
 	fmt.Printf("%-18s %12s %12s %12s %12s\n", "protocol", "TCP-ACK air", "ROHC air", "channel", "LL-ACK ovh")
 	for _, r := range rows {
 		b := r.Breakdown
@@ -125,16 +213,16 @@ func table3(o experiments.Options) {
 	fmt.Println("paper: TCP 70/0/1093/456 ms vs HACK 0.08/13.1/1.17/0.46 ms (25 MB).")
 }
 
-func xvalRun(o experiments.Options) {
+func xvalRun(o tcphack.ExperimentOptions) {
 	fmt.Printf("%-8s %12s %12s %14s\n", "proto", "ideal Mbps", "SoRa Mbps", "recovered")
-	for _, r := range experiments.CrossValidation(o) {
+	for _, r := range tcphack.CrossValidation(o) {
 		fmt.Printf("%-8s %12.1f %12.1f %14.1f\n", r.Protocol, r.IdealMbps, r.SoRaModeMbps, r.RecoveredMbps)
 	}
 	fmt.Println("paper: TCP 22.4 ideal vs 19.6 SoRa (22 recovered); HACK 28 vs 25.5 (27.7 recovered).")
 }
 
-func fig10(o experiments.Options) {
-	rows := experiments.Fig10(o, nil)
+func fig10(o tcphack.ExperimentOptions) {
+	rows := tcphack.Fig10(o, nil)
 	fmt.Printf("%-8s %-16s %14s %8s %10s\n", "clients", "protocol", "aggregate", "stddev", "vs TCP")
 	for _, r := range rows {
 		gain := ""
@@ -146,8 +234,8 @@ func fig10(o experiments.Options) {
 	fmt.Println("paper: MORE DATA HACK gains 15% (1 client) → 22% (10 clients); opportunistic ≈ stock.")
 }
 
-func fig11(o experiments.Options) {
-	res := experiments.Fig11(o, nil, nil)
+func fig11(o tcphack.ExperimentOptions) {
+	res := tcphack.Fig11(o, nil, nil)
 	snrs := make([]float64, 0, len(res.EnvelopeTCP))
 	for snr := range res.EnvelopeTCP {
 		snrs = append(snrs, snr)
@@ -165,8 +253,8 @@ func fig11(o experiments.Options) {
 	fmt.Printf("mean envelope improvement: %.1f%% (paper: 12.6%%)\n", res.MeanImprovementPct)
 }
 
-func fig12(o experiments.Options) {
-	rows := experiments.Fig12(o, nil)
+func fig12(o tcphack.ExperimentOptions) {
+	rows := tcphack.Fig12(o, nil)
 	fmt.Printf("%-14s %10s %10s %10s %10s %9s %9s\n",
 		"rate", "th TCP", "th HACK", "sim TCP", "sim HACK", "th gain", "sim gain")
 	for _, r := range rows {

@@ -1,9 +1,13 @@
 // Command hacksim runs a single simulated scenario and prints goodput
 // and MAC statistics — the quickest way to poke at the system.
+// Scenarios come from the named registry (-scenario, -list) or are
+// composed from flags via the builder options.
 //
 // Examples:
 //
 //	hacksim                                  # stock TCP, 802.11n, 1 client
+//	hacksim -list                            # enumerate named scenarios
+//	hacksim -scenario ht150-moredata -clients 4
 //	hacksim -mode more-data -clients 4
 //	hacksim -phy a54 -mode more-data -sora   # the SoRa testbed model
 //	hacksim -mcs 3 -snr 18                   # lossy mid-rate link
@@ -15,14 +19,12 @@ import (
 	"os"
 	"time"
 
-	"tcphack/internal/channel"
-	"tcphack/internal/hack"
-	"tcphack/internal/node"
-	"tcphack/internal/phy"
-	"tcphack/internal/sim"
+	"tcphack"
 )
 
 func main() {
+	scenarioFlag := flag.String("scenario", "", "named scenario from the registry (see -list)")
+	list := flag.Bool("list", false, "list named scenarios and exit")
 	modeFlag := flag.String("mode", "off", "HACK mode: off, more-data, opportunistic, timer")
 	phyFlag := flag.String("phy", "ht", "PHY: ht (802.11n) or a54 (802.11a @54)")
 	mcs := flag.Int("mcs", 7, "HT MCS index 0-7 (802.11n)")
@@ -30,68 +32,108 @@ func main() {
 	dur := flag.Duration("dur", 5*time.Second, "simulated duration")
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup before the measurement window")
 	snr := flag.Float64("snr", 0, "fixed SNR in dB (0 = lossless channel)")
+	loss := flag.Float64("loss", 0, "uniform per-frame loss probability (0 = lossless)")
 	sora := flag.Bool("sora", false, "apply the SoRa testbed artifacts (late LL ACKs, AP sender)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	upload := flag.Bool("upload", false, "upload instead of download")
 	flag.Parse()
 
-	var mode hack.Mode
-	switch *modeFlag {
-	case "off":
-		mode = hack.ModeOff
-	case "more-data":
-		mode = hack.ModeMoreData
-	case "opportunistic":
-		mode = hack.ModeOpportunistic
-	case "timer":
-		mode = hack.ModeTimer
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+	if *list {
+		for _, e := range tcphack.Scenarios() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	mode, err := tcphack.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	cfg := node.Config{Seed: *seed, Mode: mode, Clients: *clients}
-	switch *phyFlag {
-	case "ht":
-		cfg.DataRate = phy.HTRate(*mcs, 1)
-		cfg.AckRate = phy.Rate{}
-		cfg.Aggregation = true
-		cfg.TXOPLimit = 4 * sim.Millisecond
-		cfg.WireRateKbps = 500_000
-	case "a54":
-		cfg.DataRate = phy.RateA54
-		cfg.WireRateKbps = 500_000
-	default:
-		fmt.Fprintf(os.Stderr, "unknown phy %q\n", *phyFlag)
-		os.Exit(2)
+	// Compose the scenario: a named registry entry or a flag-built
+	// preset, specialized by the per-axis options.
+	var opts []tcphack.ScenarioOption
+	if *scenarioFlag == "" {
+		switch *phyFlag {
+		case "ht":
+			opts = append(opts, tcphack.With80211n(), tcphack.WithRate(tcphack.HTRate(*mcs, 1)))
+		case "a54":
+			opts = append(opts, tcphack.WithRate(tcphack.Rate54Mbps),
+				tcphack.WithWire(500_000, tcphack.Millisecond))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown phy %q\n", *phyFlag)
+			os.Exit(2)
+		}
+		opts = append(opts, tcphack.WithMode(mode))
+	}
+	if *scenarioFlag == "" {
+		opts = append(opts, tcphack.WithClients(*clients), tcphack.WithSeed(*seed))
+	} else {
+		// A named scenario keeps its registered values; only flags the
+		// user explicitly set override it (-phy conflicts with the name
+		// itself, which picks the PHY).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mode":
+				opts = append(opts, tcphack.WithMode(mode))
+			case "mcs":
+				opts = append(opts, tcphack.WithRate(tcphack.HTRate(*mcs, 1)))
+			case "clients":
+				opts = append(opts, tcphack.WithClients(*clients))
+			case "seed":
+				opts = append(opts, tcphack.WithSeed(*seed))
+			case "phy":
+				fmt.Fprintln(os.Stderr, "-phy cannot be combined with -scenario (the name picks the PHY)")
+				os.Exit(2)
+			}
+		})
 	}
 	if *sora {
-		cfg.AckTurnaround = 37 * sim.Microsecond
-		cfg.AckTimeoutSlack = 80 * sim.Microsecond
-		cfg.WireRateKbps = 0 // AP-resident sender
+		// Only the testbed artifacts (late LL ACKs, AP-resident sender),
+		// leaving the -phy choice intact — the escape-hatch option.
+		opts = append(opts, tcphack.WithConfig(func(c *tcphack.NetworkConfig) {
+			c.AckTurnaround = 37 * tcphack.Microsecond
+			c.AckTimeoutSlack = 80 * tcphack.Microsecond
+			c.WireRateKbps = 0
+		}))
 	}
 	if *snr != 0 {
-		em := channel.DefaultSNRModel()
-		em.SNROverrideDB = snr
-		cfg.Err = em
+		opts = append(opts, tcphack.WithSNR(*snr))
+	}
+	if *loss != 0 {
+		opts = append(opts, tcphack.WithUniformLoss(*loss))
 	}
 
-	n := node.New(cfg)
-	for ci := 0; ci < *clients; ci++ {
-		stagger := sim.Duration(ci) * 50 * sim.Millisecond
+	var cfg tcphack.NetworkConfig
+	if *scenarioFlag != "" {
+		var ok bool
+		cfg, ok = tcphack.LookupScenario(*scenarioFlag, opts...)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; -list shows the registry\n", *scenarioFlag)
+			os.Exit(2)
+		}
+		mode = cfg.Mode
+	} else {
+		cfg = tcphack.NewScenario(opts...)
+	}
+
+	n := tcphack.NewNetwork(cfg)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		stagger := tcphack.Duration(ci) * 50 * tcphack.Millisecond
 		if *upload {
 			n.StartUpload(ci, 0, stagger)
 		} else {
 			n.StartDownload(ci, 0, stagger)
 		}
 	}
-	n.Run(sim.Duration(*warmup))
+	n.Run(tcphack.Duration(*warmup))
 	for _, f := range n.Flows {
 		f.Goodput.MarkWindow(n.Sched.Now())
 	}
-	n.Run(sim.Duration(*warmup) + sim.Duration(*dur))
+	n.Run(tcphack.Duration(*warmup) + tcphack.Duration(*dur))
 
-	fmt.Printf("%v  mode=%v  %d client(s)  window=%v\n", cfg.DataRate, mode, *clients, *dur)
+	fmt.Printf("%v  mode=%v  %d client(s)  window=%v\n", cfg.DataRate, mode, cfg.Clients, *dur)
 	var total float64
 	for i, f := range n.Flows {
 		mbps := f.Goodput.WindowMbps(n.Sched.Now())
@@ -106,7 +148,7 @@ func main() {
 	fmt.Printf("medium: tx=%d collided=%d busy=%.1f%%\n",
 		n.Medium.TxCount, n.Medium.CollidedTx,
 		100*float64(n.Medium.AirtimeBusy)/float64(n.Sched.Now()))
-	if mode != hack.ModeOff {
+	if mode != tcphack.ModeOff {
 		var acct = n.Clients[0].Driver.Acct
 		who := "client0"
 		if *upload {
@@ -119,11 +161,4 @@ func main() {
 			acct.CompressionRatio(),
 			n.DecompFailures(), n.AP.Driver.DecompDuplicates+n.Clients[0].Driver.DecompDuplicates)
 	}
-}
-
-func max(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

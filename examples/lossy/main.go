@@ -10,14 +10,12 @@ import (
 	"sort"
 
 	"tcphack"
-	"tcphack/internal/experiments"
-	"tcphack/internal/sim"
 )
 
 func main() {
-	opts := experiments.Options{
-		Warmup:  sim.Second,
-		Measure: 2 * sim.Second,
+	opts := tcphack.ExperimentOptions{
+		Warmup:  tcphack.Second,
+		Measure: 2 * tcphack.Second,
 		Seed:    7,
 	}
 	res := tcphack.Fig11(opts, []float64{0, 5, 10, 15, 20, 25, 30}, nil)

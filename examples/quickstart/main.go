@@ -1,6 +1,6 @@
 // Quickstart: one client downloads over 150 Mbps 802.11n, first with
-// stock TCP, then with TCP/HACK — the paper's headline comparison in
-// a dozen lines.
+// stock TCP, then with TCP/HACK — the paper's headline comparison as
+// one two-point campaign.
 package main
 
 import (
@@ -9,18 +9,17 @@ import (
 	"tcphack"
 )
 
-func measure(mode tcphack.Mode) float64 {
-	n := tcphack.NewNetwork(tcphack.Scenario80211n(mode, 1))
-	flow := n.StartDownload(0, 0, 0) // unbounded bulk download
-	n.Run(2 * tcphack.Second)        // let slow start settle
-	flow.Goodput.MarkWindow(n.Sched.Now())
-	n.Run(8 * tcphack.Second) // measure 6 s of steady state
-	return flow.Goodput.WindowMbps(n.Sched.Now())
-}
-
 func main() {
-	stock := measure(tcphack.ModeOff)
-	hack := measure(tcphack.ModeMoreData)
+	results := tcphack.RunCampaign(tcphack.Campaign{
+		Name: "quickstart",
+		Base: tcphack.NewScenario(tcphack.With80211n()),
+		Axes: tcphack.CampaignAxes{
+			Modes: []tcphack.Mode{tcphack.ModeOff, tcphack.ModeMoreData},
+		},
+		Warmup:  2 * tcphack.Second, // let slow start settle
+		Measure: 6 * tcphack.Second, // measure 6 s of steady state
+	})
+	stock, hack := results[0].AggregateMbps, results[1].AggregateMbps
 	fmt.Printf("stock TCP over 802.11n @150 Mbps: %6.1f Mbps\n", stock)
 	fmt.Printf("TCP/HACK  over 802.11n @150 Mbps: %6.1f Mbps\n", hack)
 	fmt.Printf("improvement:                      %+6.1f%%  (paper: ≈15%%)\n",

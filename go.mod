@@ -1,0 +1,3 @@
+module tcphack
+
+go 1.24

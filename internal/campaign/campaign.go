@@ -1,0 +1,331 @@
+// Package campaign runs grids of simulations in parallel. A Spec
+// names a base scenario configuration and the axes to sweep — HACK
+// modes × client counts × seeds × PHY rates × loss rates × SNRs — and
+// Run executes the cross-product on a bounded worker pool, one
+// independent deterministic simulation per grid point, producing one
+// structured Result row per point in a deterministic order:
+// parallel and serial executions yield row-for-row identical output.
+//
+// Hooks cover the workloads the paper's evaluation needs: Build
+// replaces network construction (custom error models, per-link loss),
+// Workload replaces traffic generation (uploads, UDP saturation,
+// bounded transfers), Collect extracts extra metrics, and Skip prunes
+// hopeless grid points without running them.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// Axes are the sweep dimensions. An empty axis is not swept: the base
+// configuration's value applies and the corresponding Point field
+// reports it. Rates behaves like scenario.WithRate: sweeping the data
+// rate reverts the LL ACK rate to the 802.11 control-response rules.
+// Error-model axes (Loss, SNRsDB) install a fresh model per point,
+// composing with each other and with the base configuration's model as
+// independent loss processes — the same semantics as the
+// scenario.WithUniformLoss/WithSNR options. Any base Err must be safe
+// for concurrent read (stateless models like FixedLoss and SNRModel
+// are, bursty stateful ones like GilbertElliott are not).
+type Axes struct {
+	Modes   []hack.Mode
+	Clients []int
+	Seeds   []int64
+	Rates   []phy.Rate
+	Loss    []float64 // uniform per-frame loss probability
+	SNRsDB  []float64 // fixed channel SNR via the physical model
+}
+
+// Seeds returns n consecutive seeds starting at base — the usual
+// "average over seeded repetitions" axis.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Point is one cell of the sweep grid.
+type Point struct {
+	// Index is the point's position in Spec.Points() order; Results are
+	// returned in Index order regardless of worker count.
+	Index   int       `json:"index"`
+	Mode    hack.Mode `json:"-"`
+	Clients int       `json:"clients"`
+	Seed    int64     `json:"seed"`
+	Rate    phy.Rate  `json:"-"`
+	LossPct float64   `json:"loss_pct"` // percent, 0 when the axis is unswept
+	SNRdB   float64   `json:"snr_db"`   // 0 when the axis is unswept
+
+	sweepRate, sweepLoss, sweepSNR bool
+}
+
+// Spec declares one campaign.
+type Spec struct {
+	// Name labels the campaign's result rows.
+	Name string
+	// Base is the scenario configuration every grid point starts from.
+	Base node.Config
+	// Axes are the sweep dimensions.
+	Axes Axes
+
+	// Warmup precedes the goodput measurement window (default 2 s);
+	// Measure is the window length (default 4 s). When Duration is set
+	// instead, the simulation runs exactly that long with no window and
+	// goodput is measured from time zero — the shape of the paper's
+	// fixed-transfer experiments (Tables 2 and 3).
+	Warmup   sim.Duration
+	Measure  sim.Duration
+	Duration sim.Duration
+
+	// Workers bounds the worker pool (default GOMAXPROCS; 1 = serial).
+	Workers int
+
+	// Build replaces node.New for network construction.
+	Build func(cfg node.Config) *node.Network
+	// Workload starts traffic; the default starts one unbounded TCP
+	// download per client, staggered 50 ms apart.
+	Workload func(n *node.Network, pt Point)
+	// Collect extracts additional metrics into the point's Result
+	// (typically into Result.Extra) after the simulation finishes.
+	Collect func(n *node.Network, r *Result)
+	// Skip prunes a grid point without simulating; its Result row is
+	// emitted with Skipped set and zero metrics.
+	Skip func(pt Point) bool
+}
+
+// Result is one grid point's measurements.
+type Result struct {
+	Campaign string `json:"campaign"`
+	Point
+	ModeName string `json:"mode"`
+	RateKbps int    `json:"rate_kbps"`
+	Skipped  bool   `json:"skipped,omitempty"`
+
+	// Goodput.
+	PerClientMbps []float64 `json:"per_client_mbps"`
+	AggregateMbps float64   `json:"aggregate_mbps"`
+
+	// Medium utilization.
+	AirtimeBusyPct float64 `json:"airtime_busy_pct"`
+	Collisions     uint64  `json:"collisions"`
+
+	// AP MAC health (Table 1's statistics).
+	MPDUsSent      uint64  `json:"mpdus_sent"`
+	MPDUsDelivered uint64  `json:"mpdus_delivered"`
+	Retries        uint64  `json:"retries"`
+	QueueDrops     uint64  `json:"queue_drops"`
+	NoRetryPct     float64 `json:"no_retry_pct"`
+
+	// HACK health.
+	DecompFailures uint64 `json:"decomp_failures"`
+
+	// Flow completion (fixed-size transfers).
+	FlowsDone  int `json:"flows_done"`
+	FlowsTotal int `json:"flows_total"`
+
+	// Extra carries Collect's campaign-specific metrics.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Results is an ordered set of result rows with emitters.
+type Results []Result
+
+func (s Spec) withDefaults() Spec {
+	if s.Duration == 0 {
+		if s.Warmup == 0 {
+			s.Warmup = 2 * sim.Second
+		}
+		if s.Measure == 0 {
+			s.Measure = 4 * sim.Second
+		}
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	if s.Build == nil {
+		s.Build = node.New
+	}
+	if s.Workload == nil {
+		s.Workload = func(n *node.Network, pt Point) {
+			for ci := 0; ci < pt.Clients; ci++ {
+				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
+			}
+		}
+	}
+	return s
+}
+
+// Points enumerates the sweep grid in its deterministic order: modes,
+// then clients, then rates, then loss, then SNR, then seeds (seeds
+// innermost, so repetitions of one cell are adjacent).
+func (s Spec) Points() []Point {
+	modes := s.Axes.Modes
+	if len(modes) == 0 {
+		modes = []hack.Mode{s.Base.Mode}
+	}
+	clients := s.Axes.Clients
+	if len(clients) == 0 {
+		c := s.Base.Clients
+		if c == 0 {
+			c = 1
+		}
+		clients = []int{c}
+	}
+	seeds := s.Axes.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Base.Seed}
+	}
+	rates := s.Axes.Rates
+	sweepRate := len(rates) > 0
+	if !sweepRate {
+		rates = []phy.Rate{s.Base.DataRate}
+	}
+	loss := s.Axes.Loss
+	sweepLoss := len(loss) > 0
+	if !sweepLoss {
+		loss = []float64{0}
+	}
+	snrs := s.Axes.SNRsDB
+	sweepSNR := len(snrs) > 0
+	if !sweepSNR {
+		snrs = []float64{0}
+	}
+
+	var pts []Point
+	for _, m := range modes {
+		for _, c := range clients {
+			for _, r := range rates {
+				for _, l := range loss {
+					for _, snr := range snrs {
+						for _, seed := range seeds {
+							pts = append(pts, Point{
+								Index: len(pts), Mode: m, Clients: c, Seed: seed,
+								Rate: r, LossPct: l * 100, SNRdB: snr,
+								sweepRate: sweepRate, sweepLoss: sweepLoss, sweepSNR: sweepSNR,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// config materializes the node configuration for one grid point.
+func (s Spec) config(pt Point) node.Config {
+	cfg := s.Base
+	cfg.Mode = pt.Mode
+	cfg.Clients = pt.Clients
+	cfg.Seed = pt.Seed
+	if pt.sweepRate {
+		scenario.WithRate(pt.Rate)(&cfg)
+	}
+	if pt.sweepLoss {
+		scenario.WithUniformLoss(pt.LossPct / 100)(&cfg)
+	}
+	if pt.sweepSNR {
+		scenario.WithSNR(pt.SNRdB)(&cfg)
+	}
+	return cfg
+}
+
+// Run executes the sweep on the worker pool and returns one Result per
+// grid point, in Points() order. Each simulation is fully independent
+// (own scheduler, own RNG streams), so the output is identical for any
+// worker count.
+func Run(s Spec) Results {
+	s = s.withDefaults()
+	pts := s.Points()
+	results := make(Results, len(pts))
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.Workers
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.runPoint(pts[i])
+			}
+		}()
+	}
+	for i := range pts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+func (s Spec) runPoint(pt Point) Result {
+	r := Result{
+		Campaign: s.Name,
+		Point:    pt,
+		ModeName: pt.Mode.String(),
+		RateKbps: pt.Rate.Kbps,
+	}
+	if s.Skip != nil && s.Skip(pt) {
+		r.Skipped = true
+		return r
+	}
+	n := s.Build(s.config(pt))
+	s.Workload(n, pt)
+
+	if s.Duration > 0 {
+		n.Run(s.Duration)
+	} else {
+		n.Run(s.Warmup)
+		for _, c := range n.Clients {
+			c.Goodput.MarkWindow(n.Sched.Now())
+		}
+		for _, f := range n.Flows {
+			f.Goodput.MarkWindow(n.Sched.Now())
+		}
+		n.Run(s.Warmup + s.Measure)
+	}
+
+	now := n.Sched.Now()
+	for _, c := range n.Clients {
+		mbps := c.Goodput.WindowMbps(now)
+		if s.Duration > 0 {
+			mbps = c.Goodput.Mbps(now)
+		}
+		r.PerClientMbps = append(r.PerClientMbps, mbps)
+		r.AggregateMbps += mbps
+	}
+	if now > 0 {
+		r.AirtimeBusyPct = 100 * float64(n.Medium.AirtimeBusy) / float64(now)
+	}
+	r.Collisions = n.Medium.CollidedTx
+	ap := n.AP.MAC.Stats
+	r.MPDUsSent = ap.MPDUsSent
+	r.MPDUsDelivered = ap.MPDUsDelivered
+	r.Retries = ap.Retries
+	r.QueueDrops = ap.QueueDrops
+	r.NoRetryPct = ap.NoRetryFraction() * 100
+	r.DecompFailures = n.DecompFailures()
+	r.FlowsTotal = len(n.Flows)
+	for _, f := range n.Flows {
+		if f.Done {
+			r.FlowsDone++
+		}
+	}
+	if s.Collect != nil {
+		s.Collect(n, &r)
+	}
+	return r
+}

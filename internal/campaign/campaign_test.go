@@ -1,0 +1,248 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// testSpec is a small but non-trivial grid over the SoRa scenario:
+// 2 modes × 2 client counts × 2 seeds = 8 lossy simulations.
+func testSpec(workers int) Spec {
+	return Spec{
+		Name: "determinism",
+		Base: scenario.New(scenario.WithSoRa(), scenario.WithUniformLoss(0.01)),
+		Axes: Axes{
+			Modes:   []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+			Clients: []int{1, 2},
+			Seeds:   Seeds(1, 2),
+		},
+		Warmup:  500 * sim.Millisecond,
+		Measure: 500 * sim.Millisecond,
+		Workers: workers,
+	}
+}
+
+// TestParallelMatchesSerial is the campaign's core guarantee: the same
+// sweep produces row-for-row identical results with 1 worker, with
+// GOMAXPROCS workers, and with an oversubscribed pool (8 goroutines
+// even on a single-core machine, so interleaving is exercised
+// regardless of the host).
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := Run(testSpec(1))
+	if len(serial) != 8 {
+		t.Fatalf("serial rows = %d, want 8", len(serial))
+	}
+	for _, workers := range []int{runtime.GOMAXPROCS(0), 8} {
+		parallel := Run(testSpec(workers))
+		if !reflect.DeepEqual(serial, parallel) {
+			for i := range serial {
+				if !reflect.DeepEqual(serial[i], parallel[i]) {
+					t.Errorf("workers=%d row %d differs:\n serial:   %+v\n parallel: %+v",
+						workers, i, serial[i], parallel[i])
+				}
+			}
+			t.Fatalf("workers=%d run diverged from serial run", workers)
+		}
+	}
+	// The runs must have simulated something real.
+	for _, r := range serial {
+		if r.AggregateMbps <= 0 {
+			t.Errorf("row %d: no goodput (%+v)", r.Index, r)
+		}
+		if r.MPDUsDelivered == 0 {
+			t.Errorf("row %d: no MPDUs delivered", r.Index)
+		}
+	}
+}
+
+func TestPointsOrderAndDefaults(t *testing.T) {
+	s := testSpec(1)
+	pts := s.Points()
+	if len(pts) != 8 {
+		t.Fatalf("%d points, want 8", len(pts))
+	}
+	// Order: modes outermost, seeds innermost.
+	want := []struct {
+		mode    hack.Mode
+		clients int
+		seed    int64
+	}{
+		{hack.ModeOff, 1, 1}, {hack.ModeOff, 1, 2},
+		{hack.ModeOff, 2, 1}, {hack.ModeOff, 2, 2},
+		{hack.ModeMoreData, 1, 1}, {hack.ModeMoreData, 1, 2},
+		{hack.ModeMoreData, 2, 1}, {hack.ModeMoreData, 2, 2},
+	}
+	for i, w := range want {
+		p := pts[i]
+		if p.Index != i || p.Mode != w.mode || p.Clients != w.clients || p.Seed != w.seed {
+			t.Errorf("point %d = %+v, want mode=%v clients=%d seed=%d", i, p, w.mode, w.clients, w.seed)
+		}
+	}
+
+	// Empty axes fall back to the base configuration.
+	base := Spec{Base: node.Config{Seed: 9, Clients: 3, Mode: hack.ModeTimer}}
+	pts = base.Points()
+	if len(pts) != 1 {
+		t.Fatalf("%d points, want 1", len(pts))
+	}
+	if pts[0].Mode != hack.ModeTimer || pts[0].Clients != 3 || pts[0].Seed != 9 {
+		t.Errorf("defaults not drawn from base: %+v", pts[0])
+	}
+}
+
+func TestAxisConfigMaterialization(t *testing.T) {
+	s := Spec{
+		Base: scenario.New(scenario.With80211n()),
+		Axes: Axes{
+			Rates: []phy.Rate{phy.HTRate(3, 1)},
+			Loss:  []float64{0.02},
+		},
+	}
+	pts := s.Points()
+	if len(pts) != 1 {
+		t.Fatalf("%d points, want 1", len(pts))
+	}
+	cfg := s.config(pts[0])
+	if cfg.DataRate != phy.HTRate(3, 1) {
+		t.Errorf("rate axis not applied: %v", cfg.DataRate)
+	}
+	if cfg.Err == nil {
+		t.Error("loss axis did not install an error model")
+	}
+	if pts[0].LossPct != 2 {
+		t.Errorf("LossPct = %v, want 2", pts[0].LossPct)
+	}
+}
+
+// stubRadio satisfies channel.Radio for direct error-model queries.
+type stubRadio struct{ pos channel.Pos }
+
+func (r stubRadio) Position() channel.Pos                                 { return r.pos }
+func (stubRadio) CarrierBusy()                                            {}
+func (stubRadio) CarrierIdle()                                            {}
+func (stubRadio) EndRx(tx *channel.Transmission, outcome channel.Outcome) {}
+
+// TestLossAndSNRAxesCompose: sweeping both error-model axes must
+// simulate their combination, not let one silently win — rows at the
+// same SNR but different loss must differ.
+func TestLossAndSNRAxesCompose(t *testing.T) {
+	s := Spec{
+		Base: scenario.New(scenario.With80211n()),
+		Axes: Axes{Loss: []float64{0, 0.3}, SNRsDB: []float64{25}},
+	}
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	cfg0, cfg1 := s.config(pts[0]), s.config(pts[1])
+	// Identical SNR, different loss: the combined model must differ.
+	src, dst := stubRadio{}, stubRadio{channel.Pos{X: 5}}
+	p0 := cfg0.Err.LossProb(src, dst, cfg0.DataRate, 1500)
+	p1 := cfg1.Err.LossProb(src, dst, cfg1.DataRate, 1500)
+	if p1 <= p0 {
+		t.Errorf("loss axis ignored when combined with SNR: p(loss=0)=%v p(loss=0.3)=%v", p0, p1)
+	}
+	if p1 < 0.3 {
+		t.Errorf("combined loss %v below the uniform component 0.3", p1)
+	}
+}
+
+// TestRateAxisFollowsControlResponseRules: sweeping Rates behaves like
+// scenario.WithRate — a preset's pinned LL ACK rate is released so the
+// 802.11 basic-rate rules pick it per eliciting frame.
+func TestRateAxisFollowsControlResponseRules(t *testing.T) {
+	s := Spec{
+		Base: scenario.New(scenario.With80211n()), // pins AckRate to 24 Mbps
+		Axes: Axes{Rates: []phy.Rate{phy.HTRate(0, 1)}},
+	}
+	cfg := s.config(s.Points()[0])
+	if !cfg.AckRate.IsZero() {
+		t.Errorf("AckRate still pinned at %v while sweeping rates", cfg.AckRate)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	s := testSpec(1)
+	s.Axes = Axes{Modes: []hack.Mode{hack.ModeOff}, Clients: []int{1, 2}}
+	s.Skip = func(pt Point) bool { return pt.Clients == 2 }
+	rs := Run(s)
+	if len(rs) != 2 {
+		t.Fatalf("%d rows", len(rs))
+	}
+	if rs[0].Skipped || rs[0].AggregateMbps <= 0 {
+		t.Errorf("row 0 should have run: %+v", rs[0])
+	}
+	if !rs[1].Skipped || rs[1].AggregateMbps != 0 {
+		t.Errorf("row 1 should be skipped with zero metrics: %+v", rs[1])
+	}
+}
+
+func TestCollectAndDurationMode(t *testing.T) {
+	s := Spec{
+		Name:     "fixed",
+		Base:     scenario.New(scenario.WithSoRa()),
+		Duration: 2 * sim.Second,
+		Workload: func(n *node.Network, pt Point) {
+			n.StartDownload(0, 1<<20, 0) // bounded 1 MB transfer
+		},
+		Collect: func(n *node.Network, r *Result) {
+			r.Extra = map[string]float64{"native_acks": float64(n.Clients[0].Driver.Acct.NativeAcks)}
+		},
+	}
+	rs := Run(s)
+	if len(rs) != 1 {
+		t.Fatalf("%d rows", len(rs))
+	}
+	r := rs[0]
+	if r.FlowsDone != 1 || r.FlowsTotal != 1 {
+		t.Errorf("1 MB transfer did not complete in 2 s: %+v", r)
+	}
+	if r.AggregateMbps <= 0 {
+		t.Error("duration-mode goodput not measured")
+	}
+	if r.Extra["native_acks"] == 0 {
+		t.Error("Collect hook did not run (no native ACKs recorded)")
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	rs := Run(testSpec(0))
+
+	var jsonBuf bytes.Buffer
+	if err := rs.WriteJSON(&jsonBuf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(decoded) != len(rs) {
+		t.Fatalf("JSON rows = %d, want %d", len(decoded), len(rs))
+	}
+	if decoded[4]["mode"] != "more-data" {
+		t.Errorf("row 4 mode = %v, want more-data", decoded[4]["mode"])
+	}
+
+	var csvBuf bytes.Buffer
+	if err := rs.WriteCSV(&csvBuf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(rs)+1 {
+		t.Fatalf("CSV lines = %d, want header + %d rows", len(lines), len(rs))
+	}
+	if !strings.HasPrefix(lines[0], "campaign,index,mode,clients,seed") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}

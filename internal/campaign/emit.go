@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON emits the rows as an indented JSON array.
+func (rs Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// csvHeader is the fixed CSV column set (Extra metrics are JSON-only).
+var csvHeader = []string{
+	"campaign", "index", "mode", "clients", "seed", "rate_kbps",
+	"loss_pct", "snr_db", "skipped", "aggregate_mbps", "per_client_mbps",
+	"airtime_busy_pct", "collisions", "mpdus_sent", "mpdus_delivered",
+	"retries", "queue_drops", "no_retry_pct", "decomp_failures",
+	"flows_done", "flows_total",
+}
+
+// WriteCSV emits the rows as CSV with a header line.
+func (rs Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		per := ""
+		for i, v := range r.PerClientMbps {
+			if i > 0 {
+				per += "/"
+			}
+			per += strconv.FormatFloat(v, 'f', 3, 64)
+		}
+		rec := []string{
+			r.Campaign,
+			strconv.Itoa(r.Index),
+			r.ModeName,
+			strconv.Itoa(r.Clients),
+			strconv.FormatInt(r.Seed, 10),
+			strconv.Itoa(r.RateKbps),
+			strconv.FormatFloat(r.LossPct, 'f', 3, 64),
+			strconv.FormatFloat(r.SNRdB, 'f', 1, 64),
+			strconv.FormatBool(r.Skipped),
+			strconv.FormatFloat(r.AggregateMbps, 'f', 3, 64),
+			per,
+			strconv.FormatFloat(r.AirtimeBusyPct, 'f', 1, 64),
+			strconv.FormatUint(r.Collisions, 10),
+			strconv.FormatUint(r.MPDUsSent, 10),
+			strconv.FormatUint(r.MPDUsDelivered, 10),
+			strconv.FormatUint(r.Retries, 10),
+			strconv.FormatUint(r.QueueDrops, 10),
+			strconv.FormatFloat(r.NoRetryPct, 'f', 1, 64),
+			strconv.FormatUint(r.DecompFailures, 10),
+			strconv.Itoa(r.FlowsDone),
+			strconv.Itoa(r.FlowsTotal),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String summarizes one row for human-readable logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s[%d] mode=%s clients=%d seed=%d: %.1f Mbps",
+		r.Campaign, r.Index, r.ModeName, r.Clients, r.Seed, r.AggregateMbps)
+}

@@ -245,6 +245,31 @@ func (f *FixedLoss) LossProb(src, dst Radio, _ phy.Rate, _ int) float64 {
 	return f.Default
 }
 
+// Independent composes error models as independent loss processes: a
+// frame survives only if it survives every model, so the combined loss
+// probability is 1-Π(1-pᵢ). With zero or one model it degenerates to
+// NoLoss or the model itself.
+func Independent(models ...ErrorModel) ErrorModel {
+	switch len(models) {
+	case 0:
+		return NoLoss{}
+	case 1:
+		return models[0]
+	}
+	return independent(models)
+}
+
+type independent []ErrorModel
+
+// LossProb implements ErrorModel.
+func (ms independent) LossProb(src, dst Radio, rate phy.Rate, length int) float64 {
+	survive := 1.0
+	for _, m := range ms {
+		survive *= 1 - m.LossProb(src, dst, rate, length)
+	}
+	return 1 - survive
+}
+
 // GilbertElliott is a two-state bursty loss model: the link flips
 // between a good state (loss pG) and a bad state (loss pB) with the
 // given per-frame transition probabilities. Used for failure-injection

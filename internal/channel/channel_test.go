@@ -367,3 +367,19 @@ func BenchmarkFrameErrorRate(b *testing.B) {
 		FrameErrorRate(phy.RateA54, 22.5, 1500)
 	}
 }
+
+func TestIndependentComposition(t *testing.T) {
+	a := &FixedLoss{Default: 0.1}
+	b := &FixedLoss{Default: 0.2}
+	got := Independent(a, b).LossProb(nil, nil, phy.RateA54, 1500)
+	want := 1 - 0.9*0.8
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("combined loss = %v, want %v", got, want)
+	}
+	if p := Independent(a).LossProb(nil, nil, phy.RateA54, 1500); p != 0.1 {
+		t.Errorf("single-model Independent = %v, want 0.1", p)
+	}
+	if p := Independent().LossProb(nil, nil, phy.RateA54, 1500); p != 0 {
+		t.Errorf("empty Independent = %v, want 0 (NoLoss)", p)
+	}
+}

@@ -1,16 +1,19 @@
 // Package experiments reproduces every table and figure in the
-// paper's evaluation (§4): each runner builds the corresponding
-// scenario on the simulator, sweeps the paper's parameters, and
-// returns rows shaped like the published results. DESIGN.md carries
-// the experiment index; EXPERIMENTS.md records paper-vs-measured.
+// paper's evaluation (§4). Each runner declares its scenario grid as a
+// campaign.Spec — base scenario × sweep axes — and aggregates the
+// campaign's Result rows into rows shaped like the published results.
+// The campaign runner executes each grid in parallel across cores;
+// Options.Workers bounds the pool.
 package experiments
 
 import (
 	"tcphack/internal/analytical"
+	"tcphack/internal/campaign"
 	"tcphack/internal/channel"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
 )
@@ -29,6 +32,9 @@ type Options struct {
 	Runs int
 	// Seed is the base RNG seed; run i uses Seed+i.
 	Seed int64
+	// Workers bounds the campaign worker pool (default GOMAXPROCS;
+	// 1 forces serial execution).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +51,17 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// spec seeds a campaign.Spec with o's shared knobs.
+func (o Options) spec(name string, base node.Config) campaign.Spec {
+	return campaign.Spec{
+		Name:    name,
+		Base:    base,
+		Warmup:  o.Warmup,
+		Measure: o.Measure,
+		Workers: o.Workers,
+	}
 }
 
 // Fig1Row is one point of Figure 1's theoretical curves.
@@ -95,19 +112,36 @@ func Fig1b() []Fig1Row {
 	return rows
 }
 
-// soraConfig builds the SoRa testbed model (§4.1): 802.11a at 54 Mbps,
-// AP-resident iperf sender (ad-hoc, no wire), 37 µs late LL ACKs with
-// a widened ACK timeout, and mild per-client intrinsic loss (client 1
-// lossier than client 2, as measured).
-func soraConfig(mode hack.Mode, clients int, seed int64) node.Config {
-	return node.Config{
-		Seed:            seed,
-		Mode:            mode,
-		DataRate:        phy.RateA54,
-		Clients:         clients,
-		AckTurnaround:   37 * sim.Microsecond,
-		AckTimeoutSlack: 80 * sim.Microsecond,
-		APQueueLimit:    126,
+// soraBase builds the SoRa testbed scenario (§4.1) via the builder.
+func soraBase(mode hack.Mode) node.Config {
+	return scenario.New(scenario.WithSoRa(), scenario.WithMode(mode))
+}
+
+// buildSora assembles a SoRa network with the testbed's measured
+// per-link intrinsic loss (client 1 lossier than client 2, paper
+// §4.2: "Client 1's throughput is slightly less...").
+func buildSora(cfg node.Config) *node.Network {
+	fl := &channel.FixedLoss{Default: 0.005}
+	cfg.Err = fl
+	n := node.New(cfg)
+	fl.SetLink(n.AP.MAC, n.Clients[0].MAC, 0.03)
+	if len(n.Clients) > 1 {
+		fl.SetLink(n.AP.MAC, n.Clients[1].MAC, 0.015)
+	}
+	return n
+}
+
+// soraWorkload starts the testbed's traffic: saturating UDP or
+// staggered bulk TCP downloads to every client.
+func soraWorkload(udp bool) func(n *node.Network, pt campaign.Point) {
+	return func(n *node.Network, pt campaign.Point) {
+		for ci := 0; ci < pt.Clients; ci++ {
+			if udp {
+				n.StartUDPDownload(ci, 40_000/pt.Clients+8000, 1500, sim.Duration(ci)*10*sim.Millisecond)
+			} else {
+				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
+			}
+		}
 	}
 }
 
@@ -123,39 +157,52 @@ type Fig9Cell struct {
 	NoRetryPct float64
 }
 
+// fig9Protocols lists the testbed's transmission schemes.
+var fig9Protocols = []struct {
+	Name string
+	Mode hack.Mode
+	UDP  bool
+}{
+	{"UDP", hack.ModeOff, true},
+	{"HACK", hack.ModeMoreData, false},
+	{"TCP", hack.ModeOff, false},
+}
+
 // Fig9 runs the SoRa testbed experiments: bulk downloads to one and
 // two clients under UDP, TCP/HACK, and stock TCP (Figure 9), also
-// yielding Table 1's retry percentages.
+// yielding Table 1's retry percentages. Each protocol's
+// {clients × seeds} grid runs as one parallel campaign.
 func Fig9(o Options) []Fig9Cell {
 	o = o.withDefaults()
+	clientCounts := []int{1, 2}
+	byProto := make(map[string]campaign.Results, len(fig9Protocols))
+	for _, proto := range fig9Protocols {
+		spec := o.spec("fig9-"+proto.Name, soraBase(proto.Mode))
+		spec.Axes = campaign.Axes{
+			Clients: clientCounts,
+			Seeds:   campaign.Seeds(o.Seed, o.Runs),
+		}
+		spec.Build = buildSora
+		spec.Workload = soraWorkload(proto.UDP)
+		byProto[proto.Name] = campaign.Run(spec)
+	}
+
 	var out []Fig9Cell
-	for _, clients := range []int{1, 2} {
-		for _, proto := range []string{"UDP", "HACK", "TCP"} {
-			var total stats.Summary
+	for _, clients := range clientCounts {
+		for _, proto := range fig9Protocols {
+			var total, noRetry stats.Summary
 			per := make([]stats.Summary, clients)
-			var noRetry stats.Summary
-			for run := 0; run < o.Runs; run++ {
-				mode := hack.ModeOff
-				if proto == "HACK" {
-					mode = hack.ModeMoreData
+			for _, r := range byProto[proto.Name] {
+				if r.Clients != clients {
+					continue
 				}
-				cfg := soraConfig(mode, clients, o.Seed+int64(run))
-				n := buildSora(cfg, proto, clients)
-				n.Run(o.Warmup)
-				for _, c := range n.Clients {
-					c.Goodput.MarkWindow(n.Sched.Now())
-				}
-				n.Run(o.Warmup + o.Measure)
-				var sum float64
+				total.Observe(r.AggregateMbps)
+				noRetry.Observe(r.NoRetryPct)
 				for ci := 0; ci < clients; ci++ {
-					mbps := n.Clients[ci].Goodput.WindowMbps(n.Sched.Now())
-					per[ci].Observe(mbps)
-					sum += mbps
+					per[ci].Observe(r.PerClientMbps[ci])
 				}
-				total.Observe(sum)
-				noRetry.Observe(n.AP.MAC.Stats.NoRetryFraction() * 100)
 			}
-			cell := Fig9Cell{Protocol: proto, Clients: clients,
+			cell := Fig9Cell{Protocol: proto.Name, Clients: clients,
 				TotalMbps: total.Mean(), NoRetryPct: noRetry.Mean()}
 			for ci := range per {
 				cell.PerClientMbps = append(cell.PerClientMbps, per[ci].Mean())
@@ -164,24 +211,4 @@ func Fig9(o Options) []Fig9Cell {
 		}
 	}
 	return out
-}
-
-func buildSora(cfg node.Config, proto string, clients int) *node.Network {
-	// Intrinsic per-link loss: client 1 measurably lossier than client
-	// 2 (paper §4.2, "Client 1's throughput is slightly less...").
-	fl := &channel.FixedLoss{Default: 0.005}
-	cfg.Err = fl
-	n := node.New(cfg)
-	fl.SetLink(n.AP.MAC, n.Clients[0].MAC, 0.03)
-	if clients > 1 {
-		fl.SetLink(n.AP.MAC, n.Clients[1].MAC, 0.015)
-	}
-	for ci := 0; ci < clients; ci++ {
-		if proto == "UDP" {
-			n.StartUDPDownload(ci, 40_000/clients+8000, 1500, sim.Duration(ci)*10*sim.Millisecond)
-		} else {
-			n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
-		}
-	}
-	return n
 }

@@ -2,30 +2,22 @@ package experiments
 
 import (
 	"tcphack/internal/analytical"
+	"tcphack/internal/campaign"
 	"tcphack/internal/channel"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
 )
 
-// ht150Config builds the §4.3 ns-3 scenario: 802.11n at 150 Mbps data
-// / 24 Mbps LL ACKs, A-MPDU aggregation under a 4 ms TXOP, a 500 Mbps
-// 1 ms wire to the server, and an AP queue of 126 packets per flow.
-func ht150Config(mode hack.Mode, clients int, seed int64) node.Config {
-	return node.Config{
-		Seed:         seed,
-		Mode:         mode,
-		DataRate:     phy.HTRate(7, 1),
-		AckRate:      phy.RateA24,
-		Aggregation:  true,
-		TXOPLimit:    4 * sim.Millisecond,
-		Clients:      clients,
-		APQueueLimit: 126,
-		WireRateKbps: 500_000,
-		WireDelay:    sim.Millisecond,
-	}
+// ht150Base builds the §4.3 ns-3 scenario via the builder: 802.11n at
+// 150 Mbps data / 24 Mbps LL ACKs, A-MPDU aggregation under a 4 ms
+// TXOP, a 500 Mbps 1 ms wire to the server, and an AP queue of 126
+// packets per flow.
+func ht150Base(mode hack.Mode) node.Config {
+	return scenario.New(scenario.With80211n(), scenario.WithMode(mode))
 }
 
 // Fig10Row is one bar group of Figure 10.
@@ -53,39 +45,43 @@ var Fig10Protocols = []struct {
 
 // Fig10 reproduces Figure 10: aggregate steady-state goodput for
 // 1/2/4/10 clients under UDP, TCP/HACK (MORE DATA), opportunistic
-// HACK, and stock TCP on the 150 Mbps 802.11n network.
+// HACK, and stock TCP on the 150 Mbps 802.11n network. Each
+// protocol's {clients × seeds} grid runs as one parallel campaign.
 func Fig10(o Options, clientCounts []int) []Fig10Row {
 	o = o.withDefaults()
 	if clientCounts == nil {
 		clientCounts = []int{1, 2, 4, 10}
 	}
+	byProto := make(map[string]campaign.Results, len(Fig10Protocols))
+	for _, proto := range Fig10Protocols {
+		spec := o.spec("fig10-"+proto.Name, ht150Base(proto.Mode))
+		spec.Axes = campaign.Axes{
+			Clients: clientCounts,
+			Seeds:   campaign.Seeds(o.Seed, o.Runs),
+		}
+		udp := proto.UDP
+		spec.Workload = func(n *node.Network, pt campaign.Point) {
+			for ci := 0; ci < pt.Clients; ci++ {
+				stagger := sim.Duration(ci) * 100 * sim.Millisecond
+				if udp {
+					n.StartUDPDownload(ci, 160_000/pt.Clients+8_000, 1500, stagger)
+				} else {
+					n.StartDownload(ci, 0, stagger)
+				}
+			}
+		}
+		byProto[proto.Name] = campaign.Run(spec)
+	}
+
 	var rows []Fig10Row
 	for _, clients := range clientCounts {
 		tcpIdx := -1
 		for _, proto := range Fig10Protocols {
 			var agg stats.Summary
-			for run := 0; run < o.Runs; run++ {
-				cfg := ht150Config(proto.Mode, clients, o.Seed+int64(run))
-				cfg.APQueueLimit = 126 // per flow (one flow per client)
-				n := node.New(cfg)
-				for ci := 0; ci < clients; ci++ {
-					stagger := sim.Duration(ci) * 100 * sim.Millisecond
-					if proto.UDP {
-						n.StartUDPDownload(ci, 160_000/clients+8_000, 1500, stagger)
-					} else {
-						n.StartDownload(ci, 0, stagger)
-					}
+			for _, r := range byProto[proto.Name] {
+				if r.Clients == clients {
+					agg.Observe(r.AggregateMbps)
 				}
-				n.Run(o.Warmup)
-				for _, c := range n.Clients {
-					c.Goodput.MarkWindow(n.Sched.Now())
-				}
-				n.Run(o.Warmup + o.Measure)
-				var sum float64
-				for _, c := range n.Clients {
-					sum += c.Goodput.WindowMbps(n.Sched.Now())
-				}
-				agg.Observe(sum)
 			}
 			rows = append(rows, Fig10Row{
 				Clients: clients, Protocol: proto.Name,
@@ -129,7 +125,9 @@ type Fig11Result struct {
 // Fig11 sweeps SNR × PHY rate for a single client (paper Figure 11):
 // at each SNR the client downloads at each 802.11n rate with the LL
 // ACK rate chosen by the basic-rate rules; the per-SNR envelope is the
-// goodput an ideal rate-adaptation algorithm would achieve.
+// goodput an ideal rate-adaptation algorithm would achieve. The whole
+// {mode × rate × SNR} grid is one parallel campaign; hopeless
+// (rate, SNR) cells are skipped without simulating.
 func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 	o = o.withDefaults()
 	if snrsDB == nil {
@@ -138,37 +136,44 @@ func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 	if rates == nil {
 		rates = phy.RatesHT40SGI1()
 	}
+	base := ht150Base(hack.ModeOff)
+	base.AckRate = phy.Rate{} // basic-rate rules per eliciting frame
+	spec := o.spec("fig11", base)
+	spec.Axes = campaign.Axes{
+		Modes:  []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+		Rates:  rates,
+		SNRsDB: snrsDB,
+		Seeds:  []int64{o.Seed},
+	}
+	// Skip hopeless (rate, SNR) pairs cheaply: if even a Block ACK
+	// sized frame fails with near-certainty, goodput is 0.
+	spec.Skip = func(pt campaign.Point) bool {
+		return channel.FrameErrorRate(pt.Rate, pt.SNRdB, 1538) > 0.999
+	}
+	spec.Workload = func(n *node.Network, pt campaign.Point) {
+		n.StartDownload(0, 0, 0)
+	}
+	results := campaign.Run(spec)
+
+	goodput := func(mode hack.Mode, rate phy.Rate, snr float64) float64 {
+		for _, r := range results {
+			if r.Mode == mode && r.Rate.Kbps == rate.Kbps && r.SNRdB == snr {
+				return r.AggregateMbps
+			}
+		}
+		return 0
+	}
+
 	res := Fig11Result{
 		EnvelopeTCP:  make(map[float64]float64),
 		EnvelopeHACK: make(map[float64]float64),
-	}
-	run := func(mode hack.Mode, rate phy.Rate, snr float64, seed int64) float64 {
-		em := channel.DefaultSNRModel()
-		s := snr
-		em.SNROverrideDB = &s
-		cfg := ht150Config(mode, 1, seed)
-		cfg.DataRate = rate
-		cfg.AckRate = phy.Rate{} // basic-rate rules per eliciting frame
-		cfg.Err = em
-		n := node.New(cfg)
-		n.StartDownload(0, 0, 0)
-		n.Run(o.Warmup)
-		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
-		n.Run(o.Warmup + o.Measure)
-		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
 	}
 	var gains, count float64
 	for _, snr := range snrsDB {
 		bestTCP, bestHACK := 0.0, 0.0
 		for _, rate := range rates {
-			// Skip hopeless (rate, SNR) pairs cheaply: if even a Block
-			// ACK sized frame fails with near-certainty, goodput is 0.
-			if channel.FrameErrorRate(rate, snr, 1538) > 0.999 {
-				res.Points = append(res.Points, Fig11Point{SNRdB: snr, Rate: rate})
-				continue
-			}
-			tcp := run(hack.ModeOff, rate, snr, o.Seed)
-			hck := run(hack.ModeMoreData, rate, snr, o.Seed)
+			tcp := goodput(hack.ModeOff, rate, snr)
+			hck := goodput(hack.ModeMoreData, rate, snr)
 			res.Points = append(res.Points, Fig11Point{SNRdB: snr, Rate: rate, TCPMbps: tcp, HACKMbps: hck})
 			if tcp > bestTCP {
 				bestTCP = tcp
@@ -204,27 +209,39 @@ type Fig12Row struct {
 // Fig12 reproduces Figure 12: analytical predictions versus simulated
 // goodput at each 802.11n rate (lossless channel, best case — the
 // paper extracts the best point per rate from the Figure 11 sweep).
+// The {mode × rate} grid is one parallel campaign.
 func Fig12(o Options, rates []phy.Rate) []Fig12Row {
 	o = o.withDefaults()
 	if rates == nil {
 		rates = phy.RatesHT40SGI1()
 	}
 	p := analytical.Defaults()
-	run := func(mode hack.Mode, rate phy.Rate) float64 {
-		cfg := ht150Config(mode, 1, o.Seed)
-		cfg.DataRate = rate
-		cfg.AckRate = phy.Rate{}
-		n := node.New(cfg)
-		n.StartDownload(0, 0, 0)
-		n.Run(o.Warmup)
-		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
-		n.Run(o.Warmup + o.Measure)
-		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
+	base := ht150Base(hack.ModeOff)
+	base.AckRate = phy.Rate{}
+	spec := o.spec("fig12", base)
+	spec.Axes = campaign.Axes{
+		Modes: []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+		Rates: rates,
+		Seeds: []int64{o.Seed},
 	}
+	spec.Workload = func(n *node.Network, pt campaign.Point) {
+		n.StartDownload(0, 0, 0)
+	}
+	results := campaign.Run(spec)
+
+	goodput := func(mode hack.Mode, rate phy.Rate) float64 {
+		for _, r := range results {
+			if r.Mode == mode && r.Rate.Kbps == rate.Kbps {
+				return r.AggregateMbps
+			}
+		}
+		return 0
+	}
+
 	var rows []Fig12Row
 	for _, rate := range rates {
-		simTCP := run(hack.ModeOff, rate)
-		simHACK := run(hack.ModeMoreData, rate)
+		simTCP := goodput(hack.ModeOff, rate)
+		simHACK := goodput(hack.ModeMoreData, rate)
 		thTCP := p.Goodput80211n(rate, analytical.ModeTCP)
 		thHACK := p.Goodput80211n(rate, analytical.ModeHACK)
 		row := Fig12Row{

@@ -1,11 +1,22 @@
 package experiments
 
 import (
+	"tcphack/internal/campaign"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
 )
+
+// tableModes is the stock-vs-HACK comparison both tables sweep.
+var tableModes = []hack.Mode{hack.ModeOff, hack.ModeMoreData}
+
+func tableProtocol(m hack.Mode) string {
+	if m == hack.ModeMoreData {
+		return "HACK"
+	}
+	return "TCP"
+}
 
 // Table2Row is one protocol's row of Table 2: how a fixed 25 MB
 // transfer's TCP ACKs travelled.
@@ -20,33 +31,40 @@ type Table2Row struct {
 
 // Table2 transfers a fixed payload over the SoRa scenario under stock
 // TCP and TCP/HACK, accounting every TCP ACK (paper Table 2; the paper
-// used 25 MB — bytes scales the workload).
+// used 25 MB — bytes scales the workload). Both protocols run as one
+// campaign in fixed-duration mode.
 func Table2(o Options, bytes uint64) []Table2Row {
 	o = o.withDefaults()
 	if bytes == 0 {
 		bytes = 25 << 20
 	}
+	spec := o.spec("table2", soraBase(hack.ModeOff))
+	spec.Axes = campaign.Axes{Modes: tableModes, Seeds: []int64{o.Seed}}
+	spec.Duration = 400 * sim.Second
+	spec.Workload = func(n *node.Network, pt campaign.Point) {
+		n.StartDownload(0, bytes, 0)
+	}
+	accts := make([]stats.AckAccounting, len(spec.Points()))
+	spec.Collect = func(n *node.Network, r *campaign.Result) {
+		accts[r.Index] = n.Clients[0].Driver.Acct
+	}
+	results := campaign.Run(spec)
+
 	var rows []Table2Row
-	for _, proto := range []string{"TCP", "HACK"} {
-		mode := hack.ModeOff
-		if proto == "HACK" {
-			mode = hack.ModeMoreData
-		}
-		n := node.New(soraConfig(mode, 1, o.Seed))
-		f := n.StartDownload(0, bytes, 0)
-		n.Run(400 * sim.Second)
-		acct := n.Clients[0].Driver.Acct
-		rows = append(rows, Table2Row{
-			Protocol:         proto,
+	for _, r := range results {
+		acct := accts[r.Index]
+		row := Table2Row{
+			Protocol:         tableProtocol(r.Mode),
 			NativeAcks:       acct.NativeAcks,
 			NativeAckBytes:   acct.NativeAckBytes,
 			CompressedAcks:   acct.CompressedAcks,
 			CompressedBytes:  acct.CompressedBytes,
 			CompressionRatio: acct.CompressionRatio(),
-		})
-		if !f.Done {
-			rows[len(rows)-1].Protocol += " (incomplete)"
 		}
+		if r.FlowsDone < r.FlowsTotal {
+			row.Protocol += " (incomplete)"
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -64,19 +82,24 @@ func Table3(o Options, bytes uint64) []Table3Row {
 	if bytes == 0 {
 		bytes = 25 << 20
 	}
-	var rows []Table3Row
-	for _, proto := range []string{"TCP", "HACK"} {
-		mode := hack.ModeOff
-		if proto == "HACK" {
-			mode = hack.ModeMoreData
-		}
-		n := node.New(soraConfig(mode, 1, o.Seed))
+	spec := o.spec("table3", soraBase(hack.ModeOff))
+	spec.Axes = campaign.Axes{Modes: tableModes, Seeds: []int64{o.Seed}}
+	spec.Duration = 400 * sim.Second
+	spec.Workload = func(n *node.Network, pt campaign.Point) {
 		n.StartDownload(0, bytes, 0)
-		n.Run(400 * sim.Second)
+	}
+	breakdowns := make([]stats.TimeBreakdown, len(spec.Points()))
+	spec.Collect = func(n *node.Network, r *campaign.Result) {
 		var b stats.TimeBreakdown
 		b.Add(n.Clients[0].MAC.TCPAckTime) // native ACK costs at the client
 		b.Add(n.AP.MAC.TCPAckTime)
-		rows = append(rows, Table3Row{Protocol: proto, Breakdown: b})
+		breakdowns[r.Index] = b
+	}
+	results := campaign.Run(spec)
+
+	var rows []Table3Row
+	for _, r := range results {
+		rows = append(rows, Table3Row{Protocol: tableProtocol(r.Mode), Breakdown: breakdowns[r.Index]})
 	}
 	return rows
 }
@@ -92,32 +115,31 @@ type XValRow struct {
 
 // CrossValidation reproduces §4.2's reconciliation: removing the SoRa
 // LL ACK delay from the simulation must close most of the gap to the
-// ideal-MAC numbers.
+// ideal-MAC numbers. The four (protocol × MAC model) cells run as two
+// parallel campaigns.
 func CrossValidation(o Options) []XValRow {
 	o = o.withDefaults()
-	run := func(mode hack.Mode, sora bool) float64 {
-		cfg := soraConfig(mode, 1, o.Seed)
+	run := func(name string, sora bool) campaign.Results {
+		base := soraBase(hack.ModeOff)
 		if !sora {
-			cfg.AckTurnaround = 0
-			cfg.AckTimeoutSlack = 0
+			base.AckTurnaround = 0
+			base.AckTimeoutSlack = 0
 		}
-		n := buildSora(cfg, "TCP", 1)
-		n.Run(o.Warmup)
-		n.Clients[0].Goodput.MarkWindow(n.Sched.Now())
-		n.Run(o.Warmup + o.Measure)
-		return n.Clients[0].Goodput.WindowMbps(n.Sched.Now())
+		spec := o.spec(name, base)
+		spec.Axes = campaign.Axes{Modes: tableModes, Seeds: []int64{o.Seed}}
+		spec.Build = buildSora
+		spec.Workload = soraWorkload(false)
+		return campaign.Run(spec)
 	}
+	ideal := run("xval-ideal", false)
+	sora := run("xval-sora", true)
+
 	var rows []XValRow
-	for _, proto := range []string{"TCP", "HACK"} {
-		mode := hack.ModeOff
-		if proto == "HACK" {
-			mode = hack.ModeMoreData
-		}
-		ideal := run(mode, false)
-		sora := run(mode, true)
+	for i, mode := range tableModes {
+		proto := tableProtocol(mode)
 		rows = append(rows, XValRow{
-			Protocol: proto, IdealMbps: ideal, SoRaModeMbps: sora,
-			RecoveredMbps: removeAckDelay(sora, proto == "TCP"),
+			Protocol: proto, IdealMbps: ideal[i].AggregateMbps, SoRaModeMbps: sora[i].AggregateMbps,
+			RecoveredMbps: removeAckDelay(sora[i].AggregateMbps, proto == "TCP"),
 		})
 	}
 	return rows

@@ -72,6 +72,17 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// ParseMode is String's inverse: it resolves a mode by its
+// command-line name.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModeOff, ModeMoreData, ModeOpportunistic, ModeTimer} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return ModeOff, fmt.Errorf("unknown mode %q (want off, more-data, opportunistic, or timer)", s)
+}
+
 // Config parameterizes a Driver.
 type Config struct {
 	Mode Mode

@@ -1,0 +1,249 @@
+// Package scenario builds simulation configurations compositionally.
+// A scenario is a node.Config assembled from functional options — a
+// PHY/topology preset (With80211n, WithSoRa) refined by per-axis
+// options (WithMode, WithClients, WithSeed, WithRate, WithUniformLoss,
+// WithSNR, WithTopology, ...). A process-wide registry names the
+// paper's scenarios ("ht150-moredata", "sora-stock", ...) so CLIs and
+// tests can enumerate and look them up by string.
+//
+// Options apply in order: later options override earlier ones, so a
+// preset can be specialized freely:
+//
+//	cfg := scenario.New(scenario.With80211n(), scenario.WithMode(hack.ModeMoreData),
+//		scenario.WithClients(4), scenario.WithSeed(7))
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+// Option mutates a node.Config under construction.
+type Option func(*node.Config)
+
+// New builds a configuration from options, starting from the shared
+// baseline every preset assumes: seed 1, one client, and the paper's
+// 126-packet AP queue. Remaining zero fields pick up node.Config's own
+// defaults when the network is assembled.
+func New(opts ...Option) node.Config {
+	cfg := node.Config{
+		Seed:         1,
+		Clients:      1,
+		APQueueLimit: 126,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// With80211n applies the paper's §4.3 simulation preset: 150 Mbps
+// 802.11n (MCS 7, one stream) with A-MPDU aggregation under a 4 ms
+// TXOP, 24 Mbps link-layer ACKs, and a 500 Mbps / 1 ms wired backhaul
+// to the TCP server.
+func With80211n() Option {
+	return func(c *node.Config) {
+		c.DataRate = phy.HTRate(7, 1)
+		c.AckRate = phy.RateA24
+		c.Aggregation = true
+		c.TXOPLimit = 4 * sim.Millisecond
+		c.WireRateKbps = 500_000
+		c.WireDelay = sim.Millisecond
+	}
+}
+
+// WithSoRa applies the paper's §4.1 testbed preset: 802.11a at
+// 54 Mbps, the AP as TCP sender (ad-hoc mode, no wire), and SoRa's
+// 37 µs late link-layer ACKs with a widened ACK timeout.
+func WithSoRa() Option {
+	return func(c *node.Config) {
+		c.DataRate = phy.RateA54
+		c.AckRate = phy.Rate{}
+		c.Aggregation = false
+		c.TXOPLimit = 0
+		c.WireRateKbps = 0
+		c.WireDelay = 0
+		c.AckTurnaround = 37 * sim.Microsecond
+		c.AckTimeoutSlack = 80 * sim.Microsecond
+	}
+}
+
+// WithMode selects the HACK ACK-holding policy (hack.ModeOff = stock).
+func WithMode(m hack.Mode) Option {
+	return func(c *node.Config) { c.Mode = m }
+}
+
+// WithClients sets the number of WiFi clients.
+func WithClients(n int) Option {
+	return func(c *node.Config) { c.Clients = n }
+}
+
+// WithSeed sets the RNG seed.
+func WithSeed(s int64) Option {
+	return func(c *node.Config) { c.Seed = s }
+}
+
+// WithRate sets the PHY data rate, leaving the LL ACK rate to the
+// 802.11 control-response rules unless WithAckRate also applies.
+func WithRate(r phy.Rate) Option {
+	return func(c *node.Config) {
+		c.DataRate = r
+		c.AckRate = phy.Rate{}
+	}
+}
+
+// WithAckRate pins the link-layer ACK rate.
+func WithAckRate(r phy.Rate) Option {
+	return func(c *node.Config) { c.AckRate = r }
+}
+
+// addErrorModel layers em onto any model already installed: multiple
+// loss sources act as independent processes (channel.Independent), so
+// e.g. WithSNR + WithUniformLoss simulate both.
+func addErrorModel(c *node.Config, em channel.ErrorModel) {
+	if c.Err == nil {
+		c.Err = em
+		return
+	}
+	c.Err = channel.Independent(c.Err, em)
+}
+
+// WithUniformLoss applies a uniform per-frame loss probability on
+// every link (0 ≤ p < 1), composing with any error model already
+// installed.
+func WithUniformLoss(p float64) Option {
+	return func(c *node.Config) { addErrorModel(c, &channel.FixedLoss{Default: p}) }
+}
+
+// WithSNR fixes the channel SNR in dB via the physical error model
+// (the Figure 11 x-axis), overriding geometry and composing with any
+// error model already installed.
+func WithSNR(db float64) Option {
+	return func(c *node.Config) {
+		em := channel.DefaultSNRModel()
+		snr := db
+		em.SNROverrideDB = &snr
+		addErrorModel(c, em)
+	}
+}
+
+// WithErrorModel installs an arbitrary channel error model, replacing
+// whatever was there (the absolute form; the loss options above
+// compose instead).
+func WithErrorModel(em channel.ErrorModel) Option {
+	return func(c *node.Config) { c.Err = em }
+}
+
+// WithTopology places client i at the returned position (metres from
+// the AP at the origin). The default is a 10 m circle.
+func WithTopology(fn func(i int) channel.Pos) Option {
+	return func(c *node.Config) { c.ClientPos = fn }
+}
+
+// WithWire sets the server—AP wired backhaul (rateKbps 0 disables the
+// server; the AP then hosts the TCP senders).
+func WithWire(rateKbps int, delay sim.Duration) Option {
+	return func(c *node.Config) {
+		c.WireRateKbps = rateKbps
+		c.WireDelay = delay
+	}
+}
+
+// WithConfig overlays fn's arbitrary edits — the escape hatch for
+// fields without a dedicated option.
+func WithConfig(fn func(*node.Config)) Option {
+	return Option(fn)
+}
+
+// Entry is one named scenario in the registry.
+type Entry struct {
+	Name string
+	Desc string
+	opts []Option
+}
+
+// Config builds the entry's configuration, applying extra options on
+// top (e.g. a client count or seed).
+func (e Entry) Config(extra ...Option) node.Config {
+	return New(append(append([]Option{}, e.opts...), extra...)...)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Entry{}
+)
+
+// Register names a scenario built from opts. Registering an existing
+// name replaces it.
+func Register(name, desc string, opts ...Option) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = Entry{Name: name, Desc: desc, opts: opts}
+}
+
+// Lookup returns the named scenario entry.
+func Lookup(name string) (Entry, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns registered entries sorted by name.
+func All() []Entry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	entries := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+func init() {
+	presets := []struct {
+		prefix, desc string
+		opt          func() Option
+	}{
+		{"ht150", "150 Mbps 802.11n with A-MPDU aggregation and wired backhaul (§4.3)", With80211n},
+		{"sora", "802.11a @54 Mbps SoRa testbed model, AP-resident sender (§4.1)", WithSoRa},
+	}
+	modes := []struct {
+		suffix string
+		mode   hack.Mode
+	}{
+		{"stock", hack.ModeOff},
+		{"moredata", hack.ModeMoreData},
+		{"opportunistic", hack.ModeOpportunistic},
+		{"timer", hack.ModeTimer},
+	}
+	for _, p := range presets {
+		for _, m := range modes {
+			Register(
+				fmt.Sprintf("%s-%s", p.prefix, m.suffix),
+				fmt.Sprintf("%s, HACK mode %v", p.desc, m.mode),
+				p.opt(), WithMode(m.mode),
+			)
+		}
+	}
+}

@@ -5,7 +5,35 @@
 // link-layer acknowledgments, eliminating the medium acquisitions that
 // TCP ACK packets otherwise require.
 //
-// The package is the public facade over the full system:
+// The public API has two pillars:
+//
+// Scenario builder. A scenario is a NetworkConfig composed from
+// functional options — a preset (With80211n, WithSoRa) refined by
+// per-axis options — with a registry of named scenarios
+// (Scenarios, LookupScenario) for CLIs and tests:
+//
+//	cfg := tcphack.NewScenario(tcphack.With80211n(),
+//		tcphack.WithMode(tcphack.ModeMoreData), tcphack.WithClients(4))
+//
+// Campaign runner. A Campaign declares a base scenario and the axes to
+// sweep — modes × client counts × seeds × rates × loss × SNR — and
+// RunCampaign executes the grid on a bounded worker pool, one
+// deterministic simulation per point, returning structured result rows
+// (goodput, airtime, retries) with JSON/CSV emitters. Parallel and
+// serial runs produce row-for-row identical results:
+//
+//	results := tcphack.RunCampaign(tcphack.Campaign{
+//		Name: "modes-vs-clients",
+//		Base: tcphack.NewScenario(tcphack.With80211n()),
+//		Axes: tcphack.CampaignAxes{
+//			Modes:   []tcphack.Mode{tcphack.ModeOff, tcphack.ModeMoreData},
+//			Clients: []int{1, 2, 4, 10},
+//			Seeds:   tcphack.CampaignSeeds(1, 5),
+//		},
+//	})
+//	results.WriteCSV(os.Stdout)
+//
+// Underneath sit the subsystems the options parameterize:
 //
 //   - a deterministic discrete-event 802.11a/n simulator
 //     (internal/sim, internal/phy, internal/channel, internal/mac);
@@ -15,13 +43,13 @@
 //   - the HACK driver itself (internal/hack) with the MORE DATA,
 //     opportunistic, and timer holding policies;
 //   - network composition (internal/node), closed-form capacity models
-//     (internal/analytical), and runners for every table and figure in
-//     the paper's evaluation (internal/experiments).
+//     (internal/analytical), and campaign-based runners for every
+//     table and figure in the paper's evaluation (internal/experiments,
+//     internal/campaign, internal/scenario).
 //
-// Quick start: build a network, start a flow, measure.
+// Single simulations remain a three-liner when a campaign is overkill:
 //
-//	cfg := tcphack.Scenario80211n(tcphack.ModeMoreData, 1)
-//	n := tcphack.NewNetwork(cfg)
+//	n := tcphack.NewNetwork(tcphack.NewScenario(tcphack.With80211n()))
 //	flow := n.StartDownload(0, 0, 0)
 //	n.Run(2 * tcphack.Second)
 //	flow.Goodput.MarkWindow(n.Sched.Now())
@@ -31,10 +59,13 @@ package tcphack
 
 import (
 	"tcphack/internal/analytical"
+	"tcphack/internal/campaign"
+	"tcphack/internal/channel"
 	"tcphack/internal/experiments"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
 )
 
@@ -52,11 +83,102 @@ type (
 	Rate = phy.Rate
 	// Duration is simulated time in nanoseconds.
 	Duration = sim.Duration
+	// Pos is a 2-D position in metres (client topology).
+	Pos = channel.Pos
 	// ExperimentOptions scales the paper-reproduction runners.
 	ExperimentOptions = experiments.Options
 	// AnalyticalParams parameterizes the closed-form capacity models.
 	AnalyticalParams = analytical.Params
 )
+
+// Scenario builder.
+type (
+	// ScenarioOption composes a NetworkConfig (see NewScenario).
+	ScenarioOption = scenario.Option
+	// ScenarioEntry is one named scenario from the registry.
+	ScenarioEntry = scenario.Entry
+)
+
+// NewScenario builds a NetworkConfig from options; later options
+// override earlier ones, so presets can be specialized freely.
+func NewScenario(opts ...ScenarioOption) NetworkConfig { return scenario.New(opts...) }
+
+// Scenario-builder options.
+var (
+	// With80211n applies the paper's §4.3 preset: 150 Mbps 802.11n,
+	// A-MPDU aggregation, 24 Mbps LL ACKs, wired backhaul.
+	With80211n = scenario.With80211n
+	// WithSoRa applies the paper's §4.1 testbed preset: 802.11a @54,
+	// AP-resident sender, SoRa's late link-layer ACKs.
+	WithSoRa = scenario.WithSoRa
+	// WithMode selects the HACK ACK-holding policy.
+	WithMode = scenario.WithMode
+	// WithClients sets the number of WiFi clients.
+	WithClients = scenario.WithClients
+	// WithSeed sets the RNG seed.
+	WithSeed = scenario.WithSeed
+	// WithRate sets the PHY data rate (LL ACK rate follows the 802.11
+	// control-response rules).
+	WithRate = scenario.WithRate
+	// WithAckRate pins the link-layer ACK rate.
+	WithAckRate = scenario.WithAckRate
+	// WithUniformLoss applies a uniform per-frame loss probability.
+	WithUniformLoss = scenario.WithUniformLoss
+	// WithSNR fixes the channel SNR in dB via the physical error model.
+	WithSNR = scenario.WithSNR
+	// WithTopology places client i at the returned position.
+	WithTopology = scenario.WithTopology
+	// WithWire sets the server—AP wired backhaul.
+	WithWire = scenario.WithWire
+	// WithConfig overlays arbitrary NetworkConfig edits.
+	WithConfig = scenario.WithConfig
+)
+
+// Scenarios lists the named scenarios in the registry, sorted by name.
+func Scenarios() []ScenarioEntry { return scenario.All() }
+
+// ScenarioNames lists registered scenario names, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LookupScenario builds a named scenario's NetworkConfig, applying
+// extra options on top (e.g. WithClients, WithSeed).
+func LookupScenario(name string, extra ...ScenarioOption) (NetworkConfig, bool) {
+	e, ok := scenario.Lookup(name)
+	if !ok {
+		return NetworkConfig{}, false
+	}
+	return e.Config(extra...), true
+}
+
+// RegisterScenario names a scenario built from opts so CLIs and tests
+// can look it up; registering an existing name replaces it.
+func RegisterScenario(name, desc string, opts ...ScenarioOption) {
+	scenario.Register(name, desc, opts...)
+}
+
+// Campaign runner.
+type (
+	// Campaign declares a sweep: a base scenario × axes, executed in
+	// parallel on a bounded worker pool.
+	Campaign = campaign.Spec
+	// CampaignAxes are the sweep dimensions.
+	CampaignAxes = campaign.Axes
+	// CampaignPoint is one cell of the sweep grid.
+	CampaignPoint = campaign.Point
+	// CampaignResult is one grid point's measurements.
+	CampaignResult = campaign.Result
+	// CampaignResults is the ordered result set, with WriteJSON and
+	// WriteCSV emitters.
+	CampaignResults = campaign.Results
+)
+
+// RunCampaign executes the sweep and returns one result row per grid
+// point in deterministic order, independent of worker count.
+func RunCampaign(c Campaign) CampaignResults { return campaign.Run(c) }
+
+// CampaignSeeds returns n consecutive seeds starting at base — the
+// "average over seeded repetitions" axis.
+func CampaignSeeds(base int64, n int) []int64 { return campaign.Seeds(base, n) }
 
 // HACK modes.
 const (
@@ -76,6 +198,10 @@ const (
 // NewNetwork assembles a network from cfg.
 func NewNetwork(cfg NetworkConfig) *Network { return node.New(cfg) }
 
+// ParseMode resolves a HACK mode by its command-line name
+// ("off", "more-data", "opportunistic", "timer").
+func ParseMode(s string) (Mode, error) { return hack.ParseMode(s) }
+
 // Rate54Mbps is the top 802.11a rate (the SoRa testbed's setting).
 var Rate54Mbps = phy.RateA54
 
@@ -84,40 +210,20 @@ var Rate54Mbps = phy.RateA54
 // paper's 150 Mbps configuration.
 func HTRate(mcs, streams int) Rate { return phy.HTRate(mcs, streams) }
 
-// Scenario80211n builds the paper's §4.3 simulation scenario:
-// 150 Mbps 802.11n with A-MPDU aggregation, 24 Mbps link-layer ACKs,
-// a 4 ms TXOP limit, and a 500 Mbps / 1 ms wired backhaul.
+// Scenario80211n builds the paper's §4.3 simulation scenario — a thin
+// wrapper over NewScenario(With80211n(), ...).
 func Scenario80211n(mode Mode, clients int) NetworkConfig {
-	return NetworkConfig{
-		Seed:         1,
-		Mode:         mode,
-		DataRate:     phy.HTRate(7, 1),
-		AckRate:      phy.RateA24,
-		Aggregation:  true,
-		TXOPLimit:    4 * sim.Millisecond,
-		Clients:      clients,
-		APQueueLimit: 126,
-		WireRateKbps: 500_000,
-		WireDelay:    sim.Millisecond,
-	}
+	return NewScenario(With80211n(), WithMode(mode), WithClients(clients))
 }
 
-// ScenarioSoRa builds the paper's §4.1 testbed model: 802.11a at
-// 54 Mbps, the AP as TCP sender (ad-hoc mode), and SoRa's 37 µs late
-// link-layer ACKs with a widened ACK timeout.
+// ScenarioSoRa builds the paper's §4.1 testbed model — a thin wrapper
+// over NewScenario(WithSoRa(), ...).
 func ScenarioSoRa(mode Mode, clients int) NetworkConfig {
-	return NetworkConfig{
-		Seed:            1,
-		Mode:            mode,
-		DataRate:        phy.RateA54,
-		Clients:         clients,
-		AckTurnaround:   37 * sim.Microsecond,
-		AckTimeoutSlack: 80 * sim.Microsecond,
-		APQueueLimit:    126,
-	}
+	return NewScenario(WithSoRa(), WithMode(mode), WithClients(clients))
 }
 
-// Experiment runners (one per table/figure in the paper).
+// Experiment runners (one per table/figure in the paper), each
+// executing its scenario grid as a parallel campaign.
 var (
 	Fig1a           = experiments.Fig1a
 	Fig1b           = experiments.Fig1b
