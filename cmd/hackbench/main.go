@@ -13,10 +13,12 @@
 //	hackbench -xval              # §4.2 cross-validation
 //	hackbench -measure 10s -runs 5 -fig 10
 //	hackbench -workers 4 -fig 11 # bound the worker pool
+//	hackbench -fig 11 -fig11-method envelope   # legacy fixed-rate sweep
 //
 //	# ad-hoc campaign: sweep a named scenario, emit structured rows
 //	hackbench -sweep ht150-stock -sweep-modes off,more-data \
-//	    -sweep-clients 1,2,4,10 -runs 3 -format csv
+//	    -sweep-clients 1,2,4,10 -sweep-adapters fixed,ideal,minstrel \
+//	    -runs 3 -format csv
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 	sweepModes := flag.String("sweep-modes", "", "comma-separated HACK modes to sweep (off,more-data,opportunistic,timer)")
 	sweepClients := flag.String("sweep-clients", "", "comma-separated client counts to sweep")
 	sweepLoss := flag.String("sweep-loss", "", "comma-separated uniform loss probabilities to sweep")
+	sweepAdapters := flag.String("sweep-adapters", "", "comma-separated rate adapters to sweep (fixed, fixed:<rate>, ideal, minstrel)")
+	fig11Method := flag.String("fig11-method", "ideal", "Figure 11 method: ideal, minstrel (one simulation per SNR), or envelope (legacy fixed-rate sweep)")
 	format := flag.String("format", "text", "sweep output: text, csv, json")
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(*sweep, *sweepModes, *sweepClients, *sweepLoss, o, *format); err != nil {
+		if err := runSweep(*sweep, *sweepModes, *sweepClients, *sweepLoss, *sweepAdapters, o, *format); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -82,7 +86,7 @@ func main() {
 	run("Table 3: TCP ACK time breakdown", *table == 3, func() { table3(o) })
 	run("§4.2 cross-validation (ideal vs SoRa mode)", *xval, func() { xvalRun(o) })
 	run("Figure 10: multi-client 802.11n", *fig == "10", func() { fig10(o) })
-	run("Figure 11: SNR sweep envelopes", *fig == "11", func() { fig11(o) })
+	run("Figure 11: SNR sweep with rate adaptation", *fig == "11", func() { fig11(o, *fig11Method) })
 	run("Figure 12: theory vs simulation", *fig == "12", func() { fig12(o) })
 
 	if !did {
@@ -92,7 +96,7 @@ func main() {
 }
 
 // runSweep executes an ad-hoc campaign over a named scenario.
-func runSweep(name, modesCSV, clientsCSV, lossCSV string, o tcphack.ExperimentOptions, format string) error {
+func runSweep(name, modesCSV, clientsCSV, lossCSV, adaptersCSV string, o tcphack.ExperimentOptions, format string) error {
 	switch format {
 	case "text", "csv", "json":
 	default:
@@ -130,6 +134,15 @@ func runSweep(name, modesCSV, clientsCSV, lossCSV string, o tcphack.ExperimentOp
 			axes.Loss = append(axes.Loss, p)
 		}
 	}
+	if adaptersCSV != "" {
+		for _, s := range strings.Split(adaptersCSV, ",") {
+			a := strings.TrimSpace(s)
+			if err := tcphack.ParseRateAdapter(a); err != nil {
+				return err
+			}
+			axes.Adapters = append(axes.Adapters, a)
+		}
+	}
 
 	results := tcphack.RunCampaign(tcphack.Campaign{
 		Name:    name,
@@ -145,11 +158,15 @@ func runSweep(name, modesCSV, clientsCSV, lossCSV string, o tcphack.ExperimentOp
 	case "csv":
 		return results.WriteCSV(os.Stdout)
 	default:
-		fmt.Printf("%-16s %-14s %8s %6s %9s %10s %8s %10s\n",
-			"campaign", "mode", "clients", "seed", "loss%", "Mbps", "busy%", "no-retry%")
+		fmt.Printf("%-16s %-14s %8s %6s %-10s %9s %10s %8s %10s\n",
+			"campaign", "mode", "clients", "seed", "adapter", "loss%", "Mbps", "busy%", "no-retry%")
 		for _, r := range results {
-			fmt.Printf("%-16s %-14s %8d %6d %9.2f %10.2f %8.1f %10.1f\n",
-				r.Campaign, r.ModeName, r.Clients, r.Seed, r.LossPct,
+			adapter := r.Adapter
+			if adapter == "" {
+				adapter = "fixed"
+			}
+			fmt.Printf("%-16s %-14s %8d %6d %-10s %9.2f %10.2f %8.1f %10.1f\n",
+				r.Campaign, r.ModeName, r.Clients, r.Seed, adapter, r.LossPct,
 				r.AggregateMbps, r.AirtimeBusyPct, r.NoRetryPct)
 		}
 		return nil
@@ -234,8 +251,18 @@ func fig10(o tcphack.ExperimentOptions) {
 	fmt.Println("paper: MORE DATA HACK gains 15% (1 client) → 22% (10 clients); opportunistic ≈ stock.")
 }
 
-func fig11(o tcphack.ExperimentOptions) {
-	res := tcphack.Fig11(o, nil, nil)
+func fig11(o tcphack.ExperimentOptions, method string) {
+	var res tcphack.Fig11Result
+	switch method {
+	case "ideal", "minstrel":
+		res = tcphack.Fig11Adaptive(o, nil, nil, method)
+	case "envelope":
+		res = tcphack.Fig11Envelope(o, nil, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig11-method %q (want ideal, minstrel, or envelope)\n", method)
+		os.Exit(2)
+	}
+	fmt.Printf("method: %s\n", res.Method)
 	snrs := make([]float64, 0, len(res.EnvelopeTCP))
 	for snr := range res.EnvelopeTCP {
 		snrs = append(snrs, snr)

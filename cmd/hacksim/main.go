@@ -11,6 +11,8 @@
 //	hacksim -mode more-data -clients 4
 //	hacksim -phy a54 -mode more-data -sora   # the SoRa testbed model
 //	hacksim -mcs 3 -snr 18                   # lossy mid-rate link
+//	hacksim -scenario ht150-moredata -adapter minstrel -snr 25
+//	                                         # rate adaptation on a noisy link
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	scenarioFlag := flag.String("scenario", "", "named scenario from the registry (see -list)")
 	list := flag.Bool("list", false, "list named scenarios and exit")
 	modeFlag := flag.String("mode", "off", "HACK mode: off, more-data, opportunistic, timer")
+	adapter := flag.String("adapter", "", "rate adapter: fixed, fixed:<rate>, ideal, minstrel")
 	phyFlag := flag.String("phy", "ht", "PHY: ht (802.11n) or a54 (802.11a @54)")
 	mcs := flag.Int("mcs", 7, "HT MCS index 0-7 (802.11n)")
 	clients := flag.Int("clients", 1, "number of downloading clients")
@@ -50,6 +53,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := tcphack.ParseRateAdapter(*adapter); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// Compose the scenario: a named registry entry or a flag-built
 	// preset, specialized by the per-axis options.
@@ -68,7 +75,8 @@ func main() {
 		opts = append(opts, tcphack.WithMode(mode))
 	}
 	if *scenarioFlag == "" {
-		opts = append(opts, tcphack.WithClients(*clients), tcphack.WithSeed(*seed))
+		opts = append(opts, tcphack.WithClients(*clients), tcphack.WithSeed(*seed),
+			tcphack.WithRateAdapter(*adapter))
 	} else {
 		// A named scenario keeps its registered values; only flags the
 		// user explicitly set override it (-phy conflicts with the name
@@ -77,6 +85,8 @@ func main() {
 			switch f.Name {
 			case "mode":
 				opts = append(opts, tcphack.WithMode(mode))
+			case "adapter":
+				opts = append(opts, tcphack.WithRateAdapter(*adapter))
 			case "mcs":
 				opts = append(opts, tcphack.WithRate(tcphack.HTRate(*mcs, 1)))
 			case "clients":
@@ -133,7 +143,12 @@ func main() {
 	}
 	n.Run(tcphack.Duration(*warmup) + tcphack.Duration(*dur))
 
-	fmt.Printf("%v  mode=%v  %d client(s)  window=%v\n", cfg.DataRate, mode, cfg.Clients, *dur)
+	adapterName := cfg.RateAdapter
+	if adapterName == "" {
+		adapterName = "fixed"
+	}
+	fmt.Printf("%v  mode=%v  adapter=%s  %d client(s)  window=%v\n",
+		cfg.DataRate, mode, adapterName, cfg.Clients, *dur)
 	var total float64
 	for i, f := range n.Flows {
 		mbps := f.Goodput.WindowMbps(n.Sched.Now())

@@ -1,16 +1,3 @@
-// Package campaign runs grids of simulations in parallel. A Spec
-// names a base scenario configuration and the axes to sweep — HACK
-// modes × client counts × seeds × PHY rates × loss rates × SNRs — and
-// Run executes the cross-product on a bounded worker pool, one
-// independent deterministic simulation per grid point, producing one
-// structured Result row per point in a deterministic order:
-// parallel and serial executions yield row-for-row identical output.
-//
-// Hooks cover the workloads the paper's evaluation needs: Build
-// replaces network construction (custom error models, per-link loss),
-// Workload replaces traffic generation (uploads, UDP saturation,
-// bounded transfers), Collect extracts extra metrics, and Skip prunes
-// hopeless grid points without running them.
 package campaign
 
 import (
@@ -32,15 +19,21 @@ import (
 // composing with each other and with the base configuration's model as
 // independent loss processes — the same semantics as the
 // scenario.WithUniformLoss/WithSNR options. Any base Err must be safe
-// for concurrent read (stateless models like FixedLoss and SNRModel
-// are, bursty stateful ones like GilbertElliott are not).
+// for concurrent read; stateless models (FixedLoss, SNRModel) are,
+// and stateful ones (GilbertElliott) are forked per network
+// (channel.ForkableErrorModel), so all built-in models are
+// campaign-safe. Adapters sweeps rate adaptation in
+// scenario.WithRateAdapter's vocabulary ("fixed", "fixed:<rate>",
+// "ideal", "minstrel"); adapter state is per station per network, so
+// the axis preserves the parallel-equals-serial guarantee.
 type Axes struct {
-	Modes   []hack.Mode
-	Clients []int
-	Seeds   []int64
-	Rates   []phy.Rate
-	Loss    []float64 // uniform per-frame loss probability
-	SNRsDB  []float64 // fixed channel SNR via the physical model
+	Modes    []hack.Mode
+	Clients  []int
+	Seeds    []int64
+	Rates    []phy.Rate
+	Adapters []string  // rate-adapter specs (scenario.WithRateAdapter)
+	Loss     []float64 // uniform per-frame loss probability
+	SNRsDB   []float64 // fixed channel SNR via the physical model
 }
 
 // Seeds returns n consecutive seeds starting at base — the usual
@@ -62,10 +55,11 @@ type Point struct {
 	Clients int       `json:"clients"`
 	Seed    int64     `json:"seed"`
 	Rate    phy.Rate  `json:"-"`
-	LossPct float64   `json:"loss_pct"` // percent, 0 when the axis is unswept
-	SNRdB   float64   `json:"snr_db"`   // 0 when the axis is unswept
+	Adapter string    `json:"adapter,omitempty"` // rate-adapter spec; "" when unswept
+	LossPct float64   `json:"loss_pct"`          // percent, 0 when the axis is unswept
+	SNRdB   float64   `json:"snr_db"`            // 0 when the axis is unswept
 
-	sweepRate, sweepLoss, sweepSNR bool
+	sweepRate, sweepAdapter, sweepLoss, sweepSNR bool
 }
 
 // Spec declares one campaign.
@@ -165,8 +159,8 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Points enumerates the sweep grid in its deterministic order: modes,
-// then clients, then rates, then loss, then SNR, then seeds (seeds
-// innermost, so repetitions of one cell are adjacent).
+// then clients, then rates, then adapters, then loss, then SNR, then
+// seeds (seeds innermost, so repetitions of one cell are adjacent).
 func (s Spec) Points() []Point {
 	modes := s.Axes.Modes
 	if len(modes) == 0 {
@@ -189,6 +183,11 @@ func (s Spec) Points() []Point {
 	if !sweepRate {
 		rates = []phy.Rate{s.Base.DataRate}
 	}
+	adapters := s.Axes.Adapters
+	sweepAdapter := len(adapters) > 0
+	if !sweepAdapter {
+		adapters = []string{s.Base.RateAdapter}
+	}
 	loss := s.Axes.Loss
 	sweepLoss := len(loss) > 0
 	if !sweepLoss {
@@ -204,14 +203,17 @@ func (s Spec) Points() []Point {
 	for _, m := range modes {
 		for _, c := range clients {
 			for _, r := range rates {
-				for _, l := range loss {
-					for _, snr := range snrs {
-						for _, seed := range seeds {
-							pts = append(pts, Point{
-								Index: len(pts), Mode: m, Clients: c, Seed: seed,
-								Rate: r, LossPct: l * 100, SNRdB: snr,
-								sweepRate: sweepRate, sweepLoss: sweepLoss, sweepSNR: sweepSNR,
-							})
+				for _, a := range adapters {
+					for _, l := range loss {
+						for _, snr := range snrs {
+							for _, seed := range seeds {
+								pts = append(pts, Point{
+									Index: len(pts), Mode: m, Clients: c, Seed: seed,
+									Rate: r, Adapter: a, LossPct: l * 100, SNRdB: snr,
+									sweepRate: sweepRate, sweepAdapter: sweepAdapter,
+									sweepLoss: sweepLoss, sweepSNR: sweepSNR,
+								})
+							}
 						}
 					}
 				}
@@ -229,6 +231,9 @@ func (s Spec) config(pt Point) node.Config {
 	cfg.Seed = pt.Seed
 	if pt.sweepRate {
 		scenario.WithRate(pt.Rate)(&cfg)
+	}
+	if pt.sweepAdapter {
+		scenario.WithRateAdapter(pt.Adapter)(&cfg)
 	}
 	if pt.sweepLoss {
 		scenario.WithUniformLoss(pt.LossPct / 100)(&cfg)

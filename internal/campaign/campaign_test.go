@@ -66,6 +66,101 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestAdaptersAxisParallelMatchesSerial extends the determinism
+// guarantee to rate adaptation: Minstrel keeps per-station learned
+// state and draws probe schedules from an RNG, all of which must be
+// forked per network — a parallel sweep over an Adapters axis must be
+// row-identical to the serial run.
+func TestAdaptersAxisParallelMatchesSerial(t *testing.T) {
+	spec := func(workers int) Spec {
+		return Spec{
+			Name: "adapters",
+			Base: scenario.New(scenario.With80211n(), scenario.WithSNR(22)),
+			Axes: Axes{
+				Modes:    []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+				Adapters: []string{"fixed", "ideal", "minstrel"},
+			},
+			Warmup:  500 * sim.Millisecond,
+			Measure: 500 * sim.Millisecond,
+			Workers: workers,
+		}
+	}
+	serial := Run(spec(1))
+	if len(serial) != 6 {
+		t.Fatalf("serial rows = %d, want 6", len(serial))
+	}
+	parallel := Run(spec(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Errorf("row %d differs:\n serial:   %+v\n parallel: %+v", i, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("adapters-axis parallel run diverged from serial run")
+	}
+	for _, r := range serial {
+		if r.Adapter != "fixed" && r.AggregateMbps <= 0 {
+			t.Errorf("row %d (%s): no goodput", r.Index, r.Adapter)
+		}
+	}
+	// At SNR 22 the fixed 150 Mbps rate is hopeless (zero goodput —
+	// the oracle drops to a clean mid rate instead), which is the
+	// whole point of the axis: the adapter rows must beat the
+	// pinned-rate rows.
+	byAdapter := map[string]float64{}
+	for _, r := range serial {
+		if r.Mode == hack.ModeOff {
+			byAdapter[r.Adapter] = r.AggregateMbps
+		}
+	}
+	if byAdapter["ideal"] <= byAdapter["fixed"] {
+		t.Errorf("ideal (%.1f Mbps) did not beat fixed MCS7 (%.1f Mbps) at SNR 22",
+			byAdapter["ideal"], byAdapter["fixed"])
+	}
+	if byAdapter["minstrel"] <= byAdapter["fixed"] {
+		t.Errorf("minstrel (%.1f Mbps) did not beat fixed MCS7 (%.1f Mbps) at SNR 22",
+			byAdapter["minstrel"], byAdapter["fixed"])
+	}
+}
+
+// TestGilbertElliottAxisCampaignSafe: a stateful bursty-loss model in
+// the campaign base must be forked per network, keeping parallel runs
+// row-identical to serial ones (it used to be the one campaign-unsafe
+// model).
+func TestGilbertElliottAxisCampaignSafe(t *testing.T) {
+	spec := func(workers int) Spec {
+		return Spec{
+			Name: "bursty",
+			Base: scenario.New(scenario.WithSoRa(),
+				scenario.WithBurstyLoss(0.01, 0.2, 0.001, 0.5)),
+			Axes: Axes{
+				Modes: []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+				Seeds: Seeds(1, 2),
+			},
+			Warmup:  500 * sim.Millisecond,
+			Measure: 500 * sim.Millisecond,
+			Workers: workers,
+		}
+	}
+	serial := Run(spec(1))
+	parallel := Run(spec(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("bursty-loss parallel run diverged from serial run")
+	}
+	again := Run(spec(1))
+	if !reflect.DeepEqual(serial, again) {
+		t.Fatal("bursty-loss campaign not reproducible across runs")
+	}
+	for _, r := range serial {
+		if r.AggregateMbps <= 0 {
+			t.Errorf("row %d: no goodput under bursty loss", r.Index)
+		}
+		if r.Retries == 0 {
+			t.Errorf("row %d: bursty loss produced no retries; model inert?", r.Index)
+		}
+	}
+}
+
 func TestPointsOrderAndDefaults(t *testing.T) {
 	s := testSpec(1)
 	pts := s.Points()

@@ -17,7 +17,7 @@ func (rs Results) WriteJSON(w io.Writer) error {
 
 // csvHeader is the fixed CSV column set (Extra metrics are JSON-only).
 var csvHeader = []string{
-	"campaign", "index", "mode", "clients", "seed", "rate_kbps",
+	"campaign", "index", "mode", "clients", "seed", "rate_kbps", "adapter",
 	"loss_pct", "snr_db", "skipped", "aggregate_mbps", "per_client_mbps",
 	"airtime_busy_pct", "collisions", "mpdus_sent", "mpdus_delivered",
 	"retries", "queue_drops", "no_retry_pct", "decomp_failures",
@@ -45,6 +45,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Clients),
 			strconv.FormatInt(r.Seed, 10),
 			strconv.Itoa(r.RateKbps),
+			r.Adapter,
 			strconv.FormatFloat(r.LossPct, 'f', 3, 64),
 			strconv.FormatFloat(r.SNRdB, 'f', 1, 64),
 			strconv.FormatBool(r.Skipped),

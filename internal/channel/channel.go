@@ -91,9 +91,49 @@ type Radio interface {
 }
 
 // ErrorModel yields the probability that a non-collided frame is
-// corrupted at a receiver.
+// corrupted at a receiver. Models installed in a node.Config that is
+// shared across concurrently running networks (a campaign base) must
+// be safe for concurrent read; stateful models additionally implement
+// ForkableErrorModel so each network gets its own instance.
 type ErrorModel interface {
 	LossProb(src, dst Radio, rate phy.Rate, length int) float64
+}
+
+// ForkableErrorModel is implemented by stateful error models (ones
+// whose LossProb mutates internal state, like GilbertElliott's Markov
+// chain). New forks such a model once per medium — the same pattern as
+// the medium's own RNG fork — so one configured model instance can
+// seed many concurrently running networks, each with independent,
+// deterministic loss state.
+type ForkableErrorModel interface {
+	ErrorModel
+	// ForkErrorModel returns an independent instance with fresh state,
+	// drawing randomness from rng.
+	ForkErrorModel(rng *rand.Rand) ErrorModel
+}
+
+// forkModel recursively forks any stateful components of model,
+// calling fork only when a fork is actually needed so that stateless
+// configurations consume no extra RNG draws (their event streams stay
+// bit-identical to builds that predate forking).
+func forkModel(model ErrorModel, fork func() *rand.Rand) (ErrorModel, bool) {
+	switch v := model.(type) {
+	case independent:
+		out := make(independent, len(v))
+		forked := false
+		for i, c := range v {
+			f, ok := forkModel(c, fork)
+			out[i] = f
+			forked = forked || ok
+		}
+		if forked {
+			return out, true
+		}
+		return model, false
+	case ForkableErrorModel:
+		return v.ForkErrorModel(fork()), true
+	}
+	return model, false
 }
 
 // Medium is the broadcast channel. It is driven entirely by the
@@ -116,17 +156,24 @@ type Medium struct {
 }
 
 // New creates a medium using the scheduler's clock and a forked random
-// stream. A nil model means a lossless channel.
+// stream. A nil model means a lossless channel. Stateful error models
+// (ForkableErrorModel, e.g. GilbertElliott) are forked per medium so
+// the configured instance is never mutated and can be reused across
+// concurrently running networks.
 func New(sched *sim.Scheduler, model ErrorModel) *Medium {
 	if model == nil {
 		model = NoLoss{}
 	}
-	return &Medium{
+	m := &Medium{
 		sched:  sched,
-		model:  model,
 		rng:    sched.ForkRand(),
 		active: make(map[*Transmission]struct{}),
 	}
+	if forked, ok := forkModel(model, sched.ForkRand); ok {
+		model = forked
+	}
+	m.model = model
+	return m
 }
 
 // Attach registers a radio with the medium.
@@ -273,13 +320,30 @@ func (ms independent) LossProb(src, dst Radio, rate phy.Rate, length int) float6
 // GilbertElliott is a two-state bursty loss model: the link flips
 // between a good state (loss pG) and a bad state (loss pB) with the
 // given per-frame transition probabilities. Used for failure-injection
-// tests of HACK's repeated-Block-ACK-loss recovery (paper Figure 8).
+// tests of HACK's repeated-Block-ACK-loss recovery (paper Figure 8)
+// and as the bursty-loss scenario axis (scenario.WithBurstyLoss).
+//
+// The model is stateful, so a configured instance acts as a template:
+// each Medium forks its own copy with fresh chain state and an RNG
+// from the network's deterministic stream (ForkErrorModel), which
+// makes it safe to put in a campaign base configuration. Rng may be
+// left nil when the model is used through node/campaign construction;
+// it is only required when calling LossProb on the instance directly.
 type GilbertElliott struct {
 	PGoodToBad, PBadToGood float64
 	LossGood, LossBad      float64
 	Rng                    *rand.Rand
 
 	bad bool
+}
+
+// ForkErrorModel implements ForkableErrorModel: a copy with fresh
+// chain state drawing from rng, leaving the template untouched.
+func (g *GilbertElliott) ForkErrorModel(rng *rand.Rand) ErrorModel {
+	c := *g
+	c.Rng = rng
+	c.bad = false
+	return &c
 }
 
 // LossProb implements ErrorModel; it advances the Markov chain one
@@ -351,6 +415,24 @@ func (s *SNRModel) DistanceForSNR(snrDB float64) float64 {
 func (s *SNRModel) LossProb(src, dst Radio, rate phy.Rate, length int) float64 {
 	snrDB := s.SNRAt(src.Position().DistanceTo(dst.Position()))
 	return FrameErrorRate(rate, snrDB, length)
+}
+
+// FindSNRModel walks an error model (descending into Independent
+// compositions) and returns the first SNRModel found, or nil. Rate
+// adapters use it to give the IdealSNR oracle the channel's actual
+// SNR→error tables without perturbing stateful sibling models.
+func FindSNRModel(em ErrorModel) *SNRModel {
+	switch v := em.(type) {
+	case *SNRModel:
+		return v
+	case independent:
+		for _, c := range v {
+			if s := FindSNRModel(c); s != nil {
+				return s
+			}
+		}
+	}
+	return nil
 }
 
 // FrameErrorRate returns the probability that a frame of length bytes

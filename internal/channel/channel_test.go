@@ -3,6 +3,7 @@ package channel
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"tcphack/internal/phy"
@@ -199,6 +200,89 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 	frac := float64(bad) / float64(n)
 	if frac < 0.1 || frac > 0.3 {
 		t.Errorf("bad-state fraction %.3f, want ≈0.2", frac)
+	}
+}
+
+// TestGilbertElliottForkPerMedium: a configured GilbertElliott acts as
+// a template — each medium forks its own copy (fresh chain state, RNG
+// from the network's deterministic stream), so the template is never
+// mutated and identical schedulers observe identical loss processes.
+func TestGilbertElliottForkPerMedium(t *testing.T) {
+	tmpl := &GilbertElliott{
+		PGoodToBad: 0.05, PBadToGood: 0.2,
+		LossGood: 0.0, LossBad: 1.0,
+	}
+	drive := func() []bool {
+		sched := sim.NewScheduler(42)
+		m := New(sched, tmpl)
+		a, b := &testRadio{}, &testRadio{pos: Pos{X: 5}}
+		m.Attach(a)
+		m.Attach(b)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = m.Corrupted(a, b, phy.RateA54, 1500)
+		}
+		return out
+	}
+	first := drive()
+	second := drive()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("equal-seed media observed different bursty loss processes")
+	}
+	if tmpl.Rng != nil || tmpl.bad {
+		t.Errorf("template mutated: rng=%v bad=%v", tmpl.Rng, tmpl.bad)
+	}
+	lost := 0
+	for _, l := range first {
+		if l {
+			lost++
+		}
+	}
+	if lost == 0 || lost == len(first) {
+		t.Errorf("forked chain inert: %d/%d lost", lost, len(first))
+	}
+}
+
+// TestIndependentForksStatefulComponents: forking must reach stateful
+// models nested inside Independent compositions without disturbing the
+// stateless siblings.
+func TestIndependentForksStatefulComponents(t *testing.T) {
+	ge := &GilbertElliott{PGoodToBad: 0.05, PBadToGood: 0.2, LossBad: 1.0}
+	fixed := &FixedLoss{Default: 0.1}
+	comp := Independent(fixed, ge)
+	forked, ok := forkModel(comp, func() *rand.Rand { return rand.New(rand.NewSource(9)) })
+	if !ok {
+		t.Fatal("composite with a stateful component reported nothing to fork")
+	}
+	fc, isComp := forked.(independent)
+	if !isComp || len(fc) != 2 {
+		t.Fatalf("fork changed composition shape: %T", forked)
+	}
+	if fc[0] != ErrorModel(fixed) {
+		t.Error("stateless component was not shared as-is")
+	}
+	if fc[1] == ErrorModel(ge) {
+		t.Error("stateful component was not forked")
+	}
+	if _, ok := forkModel(Independent(fixed, &SNRModel{}), func() *rand.Rand {
+		t.Fatal("stateless composite consumed an RNG fork")
+		return nil
+	}); ok {
+		t.Error("stateless composite reported a fork")
+	}
+}
+
+// TestFindSNRModel locates the SNR model inside compositions.
+func TestFindSNRModel(t *testing.T) {
+	snr := DefaultSNRModel()
+	if FindSNRModel(snr) != snr {
+		t.Error("direct SNRModel not found")
+	}
+	if FindSNRModel(Independent(&FixedLoss{Default: 0.1}, snr)) != snr {
+		t.Error("composed SNRModel not found")
+	}
+	if FindSNRModel(&FixedLoss{}) != nil || FindSNRModel(nil) != nil {
+		t.Error("phantom SNRModel found")
 	}
 }
 

@@ -188,6 +188,59 @@ func TestFig11Shape(t *testing.T) {
 	}
 }
 
+// TestFig11AdapterMatchesEnvelope cross-validates the reworked Figure
+// 11 against the legacy method it replaced: at usable SNRs the
+// IdealSNR adapter (one simulation per SNR) must land within 10% of
+// the fixed-rate-sweep envelope, and the stock-vs-HACK ordering must
+// be preserved.
+func TestFig11AdapterMatchesEnvelope(t *testing.T) {
+	snrs := []float64{25, 30}
+	adaptive := Fig11(quick, snrs, nil)
+	envelope := Fig11Envelope(quick, snrs, nil)
+	if adaptive.Method != "ideal" || envelope.Method != "envelope" {
+		t.Fatalf("methods: %q / %q", adaptive.Method, envelope.Method)
+	}
+	for _, snr := range snrs {
+		for _, c := range []struct {
+			proto   string
+			ad, env float64
+		}{
+			{proto: "TCP", ad: adaptive.EnvelopeTCP[snr], env: envelope.EnvelopeTCP[snr]},
+			{proto: "HACK", ad: adaptive.EnvelopeHACK[snr], env: envelope.EnvelopeHACK[snr]},
+		} {
+			if c.env <= 0 {
+				t.Fatalf("%s envelope empty at %v dB", c.proto, snr)
+			}
+			if diff := (c.ad - c.env) / c.env; diff < -0.10 {
+				t.Errorf("snr=%v %s: adapter %.1f Mbps is %.1f%% below envelope %.1f Mbps",
+					snr, c.proto, c.ad, -diff*100, c.env)
+			}
+		}
+		if adaptive.EnvelopeHACK[snr] <= adaptive.EnvelopeTCP[snr] {
+			t.Errorf("snr=%v: adapter path lost the HACK>TCP ordering (%.1f vs %.1f)",
+				snr, adaptive.EnvelopeHACK[snr], adaptive.EnvelopeTCP[snr])
+		}
+	}
+}
+
+// TestFig11MinstrelUsable: the Minstrel variant of the reworked
+// figure must stay in the same ballpark as the oracle at a clean
+// operating point (it pays for probes and learning).
+func TestFig11MinstrelUsable(t *testing.T) {
+	snrs := []float64{30}
+	oracle := Fig11(quick, snrs, nil)
+	minstrel := Fig11Adaptive(quick, snrs, nil, "minstrel")
+	for _, m := range []map[float64]float64{minstrel.EnvelopeTCP, minstrel.EnvelopeHACK} {
+		if m[30] <= 0 {
+			t.Fatalf("minstrel produced no goodput: %v", minstrel)
+		}
+	}
+	if minstrel.EnvelopeTCP[30] < oracle.EnvelopeTCP[30]*0.85 {
+		t.Errorf("minstrel TCP %.1f Mbps ≪ oracle %.1f Mbps at 30 dB",
+			minstrel.EnvelopeTCP[30], oracle.EnvelopeTCP[30])
+	}
+}
+
 func TestFig12Shape(t *testing.T) {
 	rows := Fig12(quick, nil)
 	if len(rows) != 8 {

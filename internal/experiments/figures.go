@@ -103,7 +103,7 @@ func Fig10(o Options, clientCounts []int) []Fig10Row {
 	return rows
 }
 
-// Fig11Point is one (SNR, rate) cell of Figure 11.
+// Fig11Point is one (SNR, rate) cell of Figure 11's envelope sweep.
 type Fig11Point struct {
 	SNRdB    float64
 	Rate     phy.Rate
@@ -111,24 +111,52 @@ type Fig11Point struct {
 	HACKMbps float64
 }
 
-// Fig11Result carries the full sweep plus the per-SNR envelopes.
+// Fig11Result carries the per-SNR goodput curves. Method records how
+// they were produced: a rate adapter ("ideal", "minstrel") running
+// one simulation per SNR point, or the legacy fixed-rate envelope
+// ("envelope"), whose per-(rate, SNR) cells are then also in Points.
 type Fig11Result struct {
+	Method string
 	Points []Fig11Point
-	// Envelope maps SNR → best goodput over rates (ideal rate
-	// adaptation), per protocol.
+	// EnvelopeTCP/EnvelopeHACK map SNR → goodput under (ideal or
+	// emulated-ideal) rate adaptation, per protocol.
 	EnvelopeTCP  map[float64]float64
 	EnvelopeHACK map[float64]float64
 	// MeanImprovementPct is HACK's average envelope gain (paper: 12.6%).
 	MeanImprovementPct float64
 }
 
-// Fig11 sweeps SNR × PHY rate for a single client (paper Figure 11):
-// at each SNR the client downloads at each 802.11n rate with the LL
-// ACK rate chosen by the basic-rate rules; the per-SNR envelope is the
-// goodput an ideal rate-adaptation algorithm would achieve. The whole
-// {mode × rate × SNR} grid is one parallel campaign; hopeless
-// (rate, SNR) cells are skipped without simulating.
+// finishFig11 computes the mean HACK-over-TCP gain across usable SNRs.
+func finishFig11(res *Fig11Result, snrsDB []float64) {
+	var gains, count float64
+	for _, snr := range snrsDB {
+		tcp, hck := res.EnvelopeTCP[snr], res.EnvelopeHACK[snr]
+		if tcp > 1 { // meaningful operating points only
+			gains += (hck - tcp) / tcp * 100
+			count++
+		}
+	}
+	if count > 0 {
+		res.MeanImprovementPct = gains / count
+	}
+}
+
+// Fig11 reproduces Figure 11 with in-simulation rate adaptation: one
+// client downloads at each SNR with every station running the
+// IdealSNR adapter (the oracle the paper's "ideal rate adaptation"
+// assumes), so the whole figure is one {mode × SNR} campaign — one
+// simulation per SNR point instead of one per (rate, SNR) cell. The
+// legacy fixed-rate-sweep-plus-envelope method survives as
+// Fig11Envelope for cross-validation.
 func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
+	return Fig11Adaptive(o, snrsDB, rates, "ideal")
+}
+
+// Fig11Adaptive runs the Figure 11 SNR sweep with the named rate
+// adapter ("ideal" or "minstrel") at every station, one simulation per
+// (mode, SNR) point. rates bounds the hopeless-point pruning (nil: the
+// single-stream HT ladder, which is also the adapters' candidate set).
+func Fig11Adaptive(o Options, snrsDB []float64, rates []phy.Rate, adapter string) Fig11Result {
 	o = o.withDefaults()
 	if snrsDB == nil {
 		snrsDB = []float64{0, 5, 10, 15, 20, 25, 30}
@@ -138,7 +166,58 @@ func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 	}
 	base := ht150Base(hack.ModeOff)
 	base.AckRate = phy.Rate{} // basic-rate rules per eliciting frame
-	spec := o.spec("fig11", base)
+	base.RateAdapter = adapter
+	spec := o.spec("fig11-"+adapter, base)
+	spec.Axes = campaign.Axes{
+		Modes:  []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+		SNRsDB: snrsDB,
+		Seeds:  []int64{o.Seed},
+	}
+	// Skip SNRs where even the most robust candidate rate cannot
+	// decode a Block ACK sized frame: goodput is 0 at every rate.
+	lowest := rates[0]
+	spec.Skip = func(pt campaign.Point) bool {
+		return channel.FrameErrorRate(lowest, pt.SNRdB, 1538) > 0.999
+	}
+	spec.Workload = func(n *node.Network, pt campaign.Point) {
+		n.StartDownload(0, 0, 0)
+	}
+	results := campaign.Run(spec)
+
+	res := Fig11Result{
+		Method:       adapter,
+		EnvelopeTCP:  make(map[float64]float64),
+		EnvelopeHACK: make(map[float64]float64),
+	}
+	for _, r := range results {
+		switch r.Mode {
+		case hack.ModeOff:
+			res.EnvelopeTCP[r.SNRdB] = r.AggregateMbps
+		case hack.ModeMoreData:
+			res.EnvelopeHACK[r.SNRdB] = r.AggregateMbps
+		}
+	}
+	finishFig11(&res, snrsDB)
+	return res
+}
+
+// Fig11Envelope is the legacy Figure 11 method the paper's text
+// describes verbatim: sweep SNR × every fixed PHY rate and take the
+// per-SNR envelope as the goodput an ideal rate-adaptation algorithm
+// would achieve. It multiplies the grid by the rate count — kept for
+// cross-validating the adapter-based Fig11 (the xval test asserts the
+// two agree at usable SNRs).
+func Fig11Envelope(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
+	o = o.withDefaults()
+	if snrsDB == nil {
+		snrsDB = []float64{0, 5, 10, 15, 20, 25, 30}
+	}
+	if rates == nil {
+		rates = phy.RatesHT40SGI1()
+	}
+	base := ht150Base(hack.ModeOff)
+	base.AckRate = phy.Rate{} // basic-rate rules per eliciting frame
+	spec := o.spec("fig11-envelope", base)
 	spec.Axes = campaign.Axes{
 		Modes:  []hack.Mode{hack.ModeOff, hack.ModeMoreData},
 		Rates:  rates,
@@ -165,10 +244,10 @@ func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 	}
 
 	res := Fig11Result{
+		Method:       "envelope",
 		EnvelopeTCP:  make(map[float64]float64),
 		EnvelopeHACK: make(map[float64]float64),
 	}
-	var gains, count float64
 	for _, snr := range snrsDB {
 		bestTCP, bestHACK := 0.0, 0.0
 		for _, rate := range rates {
@@ -184,14 +263,8 @@ func Fig11(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 		}
 		res.EnvelopeTCP[snr] = bestTCP
 		res.EnvelopeHACK[snr] = bestHACK
-		if bestTCP > 1 { // meaningful operating points only
-			gains += (bestHACK - bestTCP) / bestTCP * 100
-			count++
-		}
 	}
-	if count > 0 {
-		res.MeanImprovementPct = gains / count
-	}
+	finishFig11(&res, snrsDB)
 	return res
 }
 

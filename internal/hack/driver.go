@@ -1,34 +1,3 @@
-// Package hack implements TCP/HACK, the paper's contribution: a NIC
-// driver extension that carries TCP acknowledgments inside 802.11
-// link-layer acknowledgments, eliminating the medium acquisitions TCP
-// ACK packets otherwise require.
-//
-// The Driver sits between the host network stack and the MAC
-// (implementing mac.Hooks) and is fully symmetric: at a downloading
-// client it compresses locally-generated TCP ACKs onto the client's
-// Block ACKs; at an AP relaying a client's upload it compresses the
-// server's TCP ACKs onto the AP's Block ACKs. Three holding policies
-// from §3.2 are implemented:
-//
-//   - ModeMoreData (the paper's design): the peer sets the 802.11 MORE
-//     DATA bit while more traffic is queued; the driver latches it and
-//     holds compressed ACKs for the next link-layer ACK. When a frame
-//     arrives without MORE DATA, held state flushes to native
-//     transmission.
-//   - ModeOpportunistic: ACKs contend natively as usual, but a copy is
-//     registered with the NIC; if a data frame arrives before the
-//     native copy wins the medium, the ACK rides the link-layer ACK
-//     and the native copy is withdrawn.
-//   - ModeTimer: the rejected strawman — hold every ACK for a fixed
-//     delay hoping for a piggyback opportunity.
-//
-// Loss recovery follows §3.4: compressed ACKs ride every link-layer
-// ACK until an implicit indication (progress) confirms delivery;
-// Block ACK Requests re-elicit the same payload; the SYNC bit
-// preserves retained state across the peer's BAR give-up; MSN dedup at
-// the decompressor discards the resulting duplicates; and the
-// no-MORE-DATA transition clears retained state in favour of native
-// cumulative ACKs.
 package hack
 
 import (

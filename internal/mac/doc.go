@@ -1,0 +1,57 @@
+// Package mac implements the 802.11 MAC layer: DCF/EDCA contention
+// (IFS + slotted exponential backoff), immediate link-layer ACKs,
+// A-MPDU aggregation with Block ACK agreements and Block ACK Requests,
+// per-MPDU retransmission with retry limits, duplicate detection,
+// receive-side reordering, NAV-based virtual carrier sense, EIFS, and
+// per-station rate adaptation.
+//
+// # Stations
+//
+// A Station is one 802.11 station — the MAC is symmetric, so clients
+// and the access point run the same code. Stations attach to a
+// channel.Medium, accept MSDUs through Enqueue, and deliver received
+// MSDUs through the Deliver callback. Contention lives in the dcf
+// engine; framing and wire sizes in frames.go; the Block ACK
+// recipient scoreboard in ba.go.
+//
+// # Rate adaptation
+//
+// The RateAdapter interface decouples rate selection from the
+// transmit path: the station asks RateFor(dst) once per data PPDU and
+// reports per-MPDU outcomes through OnTxResult. Three implementations
+// cover the repository's needs:
+//
+//   - FixedRate pins one rate — the paper's fixed-rate-per-experiment
+//     methodology, and the default when Config.RateAdapter is nil.
+//   - IdealSNR is the oracle: from the channel's SNR it picks the
+//     highest rate whose frame error rate is negligible. It turns the
+//     Figure 11 "sweep every fixed rate and take the envelope" grid
+//     into one simulation per SNR point.
+//   - Minstrel adapts from observed outcomes alone, after the Linux
+//     algorithm: per-rate EWMA success probabilities, rates ranked by
+//     expected throughput, probe frames on a deterministic random
+//     schedule, and a most-reliable fallback after failure bursts.
+//
+// ParseAdapterSpec maps the scenario-axis vocabulary ("fixed",
+// "fixed:<rate>", "ideal", "minstrel") onto these.
+//
+// # Determinism contract
+//
+// Everything in this package is single-goroutine, driven by the
+// sim.Scheduler, and draws randomness only from streams forked off
+// the scheduler (the station's backoff RNG, a Minstrel's probe RNG).
+// Two networks built with the same seed therefore execute
+// bit-identically, which is what lets internal/campaign run grid
+// points in parallel and still produce row-for-row identical results.
+// Adapter state is per station and must never be shared across
+// stations or networks.
+//
+// # HACK extension points
+//
+// Two extension points carry the paper's HACK protocol without the MAC
+// knowing anything about TCP: frames expose the MORE DATA and SYNC
+// header bits, and the Hooks interface lets a driver append opaque
+// bytes to outgoing link-layer acknowledgments and receive them on the
+// other side (the NIC treats compressed TCP ACKs "as opaque bits that
+// it needn't understand", §2.2).
+package mac

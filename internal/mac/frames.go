@@ -1,15 +1,3 @@
-// Package mac implements the 802.11 MAC layer: DCF/EDCA contention
-// (IFS + slotted exponential backoff), immediate link-layer ACKs,
-// A-MPDU aggregation with Block ACK agreements and Block ACK Requests,
-// per-MPDU retransmission with retry limits, duplicate detection,
-// receive-side reordering, NAV-based virtual carrier sense, and EIFS.
-//
-// Two extension points carry the paper's HACK protocol without the MAC
-// knowing anything about TCP: frames expose the MORE DATA and SYNC
-// header bits, and the Hooks interface lets a driver append opaque
-// bytes to outgoing link-layer acknowledgments and receive them on the
-// other side (the NIC treats compressed TCP ACKs "as opaque bits that
-// it needn't understand", §2.2).
 package mac
 
 import (

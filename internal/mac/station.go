@@ -15,9 +15,14 @@ type Config struct {
 	Addr Addr
 	Pos  channel.Pos
 
-	// DataRate is the PHY rate for data frames (no rate adaptation;
-	// the paper fixes rates per experiment).
+	// DataRate is the PHY rate for data frames when no RateAdapter is
+	// installed (the paper fixes rates per experiment), and the
+	// fallback when an adapter declines to pick.
 	DataRate phy.Rate
+	// RateAdapter selects the data rate per destination; nil pins
+	// DataRate (FixedRate). Adapters hold per-station state and must
+	// not be shared between stations or networks.
+	RateAdapter RateAdapter
 	// AckRate overrides the control-response rate; zero derives it
 	// from the eliciting frame per the 802.11 basic-rate rules.
 	AckRate phy.Rate
@@ -79,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAMPDUFrames == 0 {
 		c.MaxAMPDUFrames = baWindowSize
 	}
+	if c.RateAdapter == nil {
+		c.RateAdapter = FixedRate{Rate: c.DataRate}
+	}
 	return c
 }
 
@@ -92,6 +100,10 @@ type destQueue struct {
 	awaitingBAR bool
 	barRetries  int
 	syncPending bool
+	// lastDataRate is the rate of the most recent data PPDU to this
+	// destination; MPDU outcomes resolved later (Block ACKs, BAR
+	// give-ups) are attributed to it.
+	lastDataRate phy.Rate
 }
 
 func (q *destQueue) hasWork() bool {
@@ -257,15 +269,36 @@ func (st *Station) ackRateFor(dataRate phy.Rate) phy.Rate {
 	return phy.ControlResponseRate(dataRate)
 }
 
+// dataRateFor returns the rate for the next data frame to q's
+// destination, consulting the adapter and falling back to the
+// configured DataRate.
+func (st *Station) dataRateFor(q *destQueue) phy.Rate {
+	r := st.cfg.RateAdapter.RateFor(q.dst)
+	if r.IsZero() {
+		return st.cfg.DataRate
+	}
+	return r
+}
+
+// lastRateFor returns the rate of the most recent data PPDU to q's
+// destination, for attributing late MPDU resolutions.
+func (st *Station) lastRateFor(q *destQueue) phy.Rate {
+	if q.lastDataRate.IsZero() {
+		return st.cfg.DataRate
+	}
+	return q.lastDataRate
+}
+
 // expectedRespDur returns the worst-case airtime of the response we
-// await, including the HACK payload allowance.
-func (st *Station) expectedRespDur(block bool) sim.Duration {
+// await to a frame sent at dataRate, including the HACK payload
+// allowance.
+func (st *Station) expectedRespDur(dataRate phy.Rate, block bool) sim.Duration {
 	n := ackLen
 	if block {
 		n = blockAckLen
 	}
 	n += st.cfg.AckPayloadAllowance
-	return phy.FrameDuration(st.ackRateFor(st.cfg.DataRate), n)
+	return phy.FrameDuration(st.ackRateFor(dataRate), n)
 }
 
 // txOpportunity is called by the DCF when the station has won the
@@ -296,9 +329,11 @@ func (st *Station) pickQueue() *destQueue {
 
 // sendData builds and transmits the next data PPDU for q.
 func (st *Station) sendData(q *destQueue, waited sim.Duration) {
-	frame := st.buildFrame(q)
-	wire := frame.WireLen(st.cfg.DataRate.HT)
-	tx := st.medium.Transmit(st, st.cfg.DataRate, wire, frame)
+	rate := st.dataRateFor(q)
+	q.lastDataRate = rate
+	frame := st.buildFrame(q, rate)
+	wire := frame.WireLen(rate.HT)
+	tx := st.medium.Transmit(st, rate, wire, frame)
 
 	st.Stats.FramesSent++
 	st.Stats.MPDUsSent += uint64(len(frame.MPDUs))
@@ -317,21 +352,22 @@ func (st *Station) sendData(q *destQueue, waited sim.Duration) {
 
 	ex := &exchange{q: q, frame: frame, txEnd: tx.End, allTCPAck: allAck}
 	st.waiting = ex
-	ex.timeout = st.sched.At(st.respDeadline(tx.End, frame.Aggregated), st.onRespTimeout)
+	ex.timeout = st.sched.At(st.respDeadline(tx.End, frame.Aggregated, rate), st.onRespTimeout)
 }
 
 // respDeadline computes when to give up on the response to a frame
-// whose transmission ends at txEnd.
-func (st *Station) respDeadline(txEnd sim.Time, block bool) sim.Time {
-	return txEnd + phy.SIFS + phy.SlotTime + st.expectedRespDur(block) +
+// sent at dataRate whose transmission ends at txEnd.
+func (st *Station) respDeadline(txEnd sim.Time, block bool, dataRate phy.Rate) sim.Time {
+	return txEnd + phy.SIFS + phy.SlotTime + st.expectedRespDur(dataRate, block) +
 		st.cfg.AckTimeoutSlack + sim.Microsecond
 }
 
-// buildFrame assembles the next DataFrame: pending retransmissions
-// first, then fresh MSDUs, within the A-MPDU and TXOP limits.
-func (st *Station) buildFrame(q *destQueue) *DataFrame {
+// buildFrame assembles the next DataFrame for transmission at rate:
+// pending retransmissions first, then fresh MSDUs, within the A-MPDU
+// and TXOP limits.
+func (st *Station) buildFrame(q *destQueue, rate phy.Rate) *DataFrame {
 	f := &DataFrame{From: st.cfg.Addr, To: q.dst, Aggregated: st.cfg.Aggregation}
-	ht := st.cfg.DataRate.HT
+	ht := rate.HT
 
 	if !st.cfg.Aggregation {
 		if len(q.retryQ) == 0 {
@@ -342,13 +378,13 @@ func (st *Station) buildFrame(q *destQueue) *DataFrame {
 		}
 		f.MPDUs = []*MPDU{q.retryQ[0]}
 		f.MoreData = len(q.fifo) > 0
-		f.Dur = phy.SIFS + st.expectedRespDur(false)
+		f.Dur = phy.SIFS + st.expectedRespDur(rate, false)
 		return f
 	}
 
 	budget := st.cfg.MaxAMPDULen
 	if st.cfg.TXOPLimit > 0 {
-		if c := phy.PayloadCapacity(st.cfg.DataRate, st.cfg.TXOPLimit); c < budget {
+		if c := phy.PayloadCapacity(rate, st.cfg.TXOPLimit); c < budget {
 			budget = c
 		}
 	}
@@ -391,7 +427,7 @@ func (st *Station) buildFrame(q *destQueue) *DataFrame {
 	f.MoreData = len(q.fifo) > 0 || len(q.retryQ) > 0
 	f.Sync = q.syncPending
 	q.syncPending = false
-	f.Dur = phy.SIFS + st.expectedRespDur(true)
+	f.Dur = phy.SIFS + st.expectedRespDur(rate, true)
 	return f
 }
 
@@ -399,13 +435,14 @@ func (st *Station) buildFrame(q *destQueue) *DataFrame {
 func (st *Station) sendBAR(q *destQueue, waited sim.Duration) {
 	start := st.oldestUnresolved(q)
 	bar := &BARFrame{From: st.cfg.Addr, To: q.dst, StartSeq: start}
-	bar.Dur = phy.SIFS + st.expectedRespDur(true)
-	rate := st.ackRateFor(st.cfg.DataRate)
+	dataRate := st.lastRateFor(q)
+	bar.Dur = phy.SIFS + st.expectedRespDur(dataRate, true)
+	rate := st.ackRateFor(dataRate)
 	tx := st.medium.Transmit(st, rate, barLen, bar)
 	st.Stats.BARsSent++
 	ex := &exchange{q: q, bar: bar, txEnd: tx.End}
 	st.waiting = ex
-	ex.timeout = st.sched.At(st.respDeadline(tx.End, true), st.onRespTimeout)
+	ex.timeout = st.sched.At(st.respDeadline(tx.End, true, dataRate), st.onRespTimeout)
 	_ = waited
 }
 
@@ -454,7 +491,7 @@ func (st *Station) rxData(f *DataFrame, tx *channel.Transmission) {
 		st.dcf.setNAV(st.sched.Now() + f.Dur)
 		return
 	}
-	ht := st.cfg.DataRate.HT
+	ht := tx.Rate.HT
 	var decoded []*MPDU
 	for _, m := range f.MPDUs {
 		if !st.medium.Corrupted(tx.Source, st, tx.Rate, mpduWireLen(m.MSDU.Len(), ht)) {
@@ -586,7 +623,7 @@ func (st *Station) processAck(q *destQueue) {
 	}
 	m := q.retryQ[0]
 	q.retryQ = q.retryQ[1:]
-	st.recordDelivered(m)
+	st.recordDelivered(q, m)
 }
 
 func (st *Station) processBlockAck(q *destQueue, f *AckFrame) {
@@ -596,26 +633,28 @@ func (st *Station) processBlockAck(q *destQueue, f *AckFrame) {
 	q.barRetries = 0
 	for _, m := range outstanding {
 		if f.Acked(m.Seq) {
-			st.recordDelivered(m)
+			st.recordDelivered(q, m)
 		} else {
 			st.retryOrDrop(q, m)
 		}
 	}
 }
 
-func (st *Station) recordDelivered(m *MPDU) {
+func (st *Station) recordDelivered(q *destQueue, m *MPDU) {
 	st.Stats.MPDUsDelivered++
 	if m.Retries == 0 {
 		st.Stats.DeliveredFirstTry++
 	} else {
 		st.Stats.DeliveredRetried++
 	}
+	st.cfg.RateAdapter.OnTxResult(q.dst, st.lastRateFor(q), true, m.Retries)
 	if st.OnMSDUResolved != nil {
 		st.OnMSDUResolved(m.MSDU, true)
 	}
 }
 
 func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
+	st.cfg.RateAdapter.OnTxResult(q.dst, st.lastRateFor(q), false, m.Retries)
 	m.Retries++
 	if m.Retries > st.cfg.RetryLimit {
 		st.Stats.Expired++
@@ -685,6 +724,7 @@ func (st *Station) onRespTimeout() {
 	default:
 		// Single-MPDU exchange: retransmit the same sequence number.
 		m := q.retryQ[0]
+		st.cfg.RateAdapter.OnTxResult(q.dst, st.lastRateFor(q), false, m.Retries)
 		m.Retries++
 		if m.Retries > st.cfg.RetryLimit {
 			st.Stats.Expired++

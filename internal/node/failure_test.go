@@ -16,15 +16,13 @@ import (
 // and no permanent stall.
 func TestBurstyLossSyncRecovery(t *testing.T) {
 	cfg := ht150Config(hack.ModeMoreData, 1, 31)
-	n := New(cfg)
-	// Install the bursty model after construction so it can use the
-	// scheduler's deterministic RNG.
-	ge := &channel.GilbertElliott{
+	// The bursty model is a template: the medium forks its own copy
+	// with the network's deterministic RNG (channel.ForkableErrorModel).
+	cfg.Err = &channel.GilbertElliott{
 		PGoodToBad: 0.002, PBadToGood: 0.05,
 		LossGood: 0.002, LossBad: 0.9,
-		Rng: n.Sched.ForkRand(),
 	}
-	n2 := New(func() Config { c := cfg; c.Err = ge; return c }())
+	n2 := New(cfg)
 	const total = 2 << 20
 	f := n2.StartDownload(0, total, 0)
 	n2.Run(60 * sim.Second)
@@ -43,7 +41,6 @@ func TestBurstyLossSyncRecovery(t *testing.T) {
 	if n2.AP.Driver.FailCRC > 5 {
 		t.Errorf("distinct CRC damage events: %d, want ≤5", n2.AP.Driver.FailCRC)
 	}
-	_ = n
 }
 
 // TestUploadUnderLoss exercises the symmetric direction with link

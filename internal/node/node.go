@@ -35,9 +35,17 @@ type Config struct {
 	Mode hack.Mode
 
 	// PHY/MAC.
-	DataRate        phy.Rate
-	AckRate         phy.Rate // zero: 802.11 control-response rules
-	AIFSN           int      // 2 = 802.11a DCF, 3 = 802.11n EDCA BE
+	DataRate phy.Rate
+	AckRate  phy.Rate // zero: 802.11 control-response rules
+	// RateAdapter selects per-station rate adaptation, in
+	// mac.ParseAdapterSpec's vocabulary: "" or "fixed" pins DataRate
+	// (the paper's fixed-rate methodology), "fixed:<rate>" pins a
+	// named rate, "ideal" is the SNR oracle, "minstrel" the sampling
+	// adapter. Every station gets its own adapter instance with
+	// per-network deterministic state. Invalid specs panic in New;
+	// CLIs should pre-validate with mac.ParseAdapterSpec.
+	RateAdapter     string
+	AIFSN           int // 2 = 802.11a DCF, 3 = 802.11n EDCA BE
 	Aggregation     bool
 	TXOPLimit       sim.Duration
 	RetryLimit      int
@@ -220,11 +228,49 @@ func New(cfg Config) *Network {
 		// retained unconfirmed batch.
 		payloadAllowance = 1024
 	}
+	adapterSpec, err := mac.ParseAdapterSpec(cfg.RateAdapter)
+	if err != nil {
+		panic(fmt.Sprintf("node: %v", err))
+	}
+	posOf := func(a mac.Addr) channel.Pos {
+		if a == apMAC {
+			return channel.Pos{}
+		}
+		return cfg.ClientPos(int(a - baseMAC))
+	}
+	snrModel := channel.FindSNRModel(cfg.Err)
+	// newAdapter builds one per-station adapter instance. Minstrel
+	// forks its probe-schedule RNG off the network scheduler (like the
+	// medium's RNG fork), so campaigns stay deterministic and
+	// race-free; the fixed default returns nil so seed scenarios keep
+	// bit-identical RNG streams.
+	newAdapter := func(self mac.Addr) mac.RateAdapter {
+		switch adapterSpec.Kind {
+		case mac.AdapterIdeal:
+			return &mac.IdealSNR{
+				Rates: phy.RateFamily(cfg.DataRate),
+				SNRFor: func(dst mac.Addr) (float64, bool) {
+					if snrModel == nil {
+						return 0, false
+					}
+					return snrModel.SNRAt(posOf(self).DistanceTo(posOf(dst))), true
+				},
+			}
+		case mac.AdapterMinstrel:
+			return mac.NewMinstrel(mac.MinstrelConfig{Rates: phy.RateFamily(cfg.DataRate)}, sched.ForkRand())
+		default:
+			if !adapterSpec.Rate.IsZero() {
+				return mac.FixedRate{Rate: adapterSpec.Rate}
+			}
+			return nil // mac defaults to FixedRate{DataRate}
+		}
+	}
 	mkStation := func(addr mac.Addr, pos channel.Pos, queueLimit int) *mac.Station {
 		return mac.NewStation(sched, medium, mac.Config{
 			Addr: addr, Pos: pos,
 			DataRate: cfg.DataRate, AckRate: cfg.AckRate,
-			AIFSN: cfg.AIFSN, RetryLimit: cfg.RetryLimit,
+			RateAdapter: newAdapter(addr),
+			AIFSN:       cfg.AIFSN, RetryLimit: cfg.RetryLimit,
 			Aggregation: cfg.Aggregation, TXOPLimit: cfg.TXOPLimit,
 			QueueLimit:          queueLimit,
 			AckTurnaround:       cfg.AckTurnaround,

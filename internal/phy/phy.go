@@ -14,6 +14,8 @@ package phy
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"tcphack/internal/sim"
 )
@@ -23,6 +25,7 @@ import (
 // rate.
 type Modulation int
 
+// The 802.11a/n subcarrier modulations, in increasing density.
 const (
 	BPSK Modulation = iota
 	QPSK
@@ -70,9 +73,13 @@ var (
 	R56 = CodeRate{5, 6}
 )
 
+// Value returns the code rate as a float in (0, 1].
 func (r CodeRate) Value() float64 { return float64(r.Num) / float64(r.Den) }
+
 func (r CodeRate) String() string { return fmt.Sprintf("%d/%d", r.Num, r.Den) }
-func (r CodeRate) IsZero() bool   { return r.Den == 0 }
+
+// IsZero reports whether r is the zero CodeRate (no code selected).
+func (r CodeRate) IsZero() bool { return r.Den == 0 }
 
 // Rate describes one PHY rate: its nominal bit-rate, the data bits per
 // OFDM symbol it carries, and its modulation/coding pair.
@@ -165,6 +172,52 @@ func RatesHT40SGI1() []Rate {
 		rates[i] = HTRate(i, 1)
 	}
 	return rates
+}
+
+// RateFamily returns the candidate rate set a rate adapter should
+// sweep for a station configured at rate r: the single-stream (or
+// r.Streams-stream) HT ladder MCS0–7 for HT rates, the eight 802.11a
+// rates otherwise. The result is freshly allocated, in increasing-rate
+// order.
+func RateFamily(r Rate) []Rate {
+	if r.HT {
+		streams := r.Streams
+		if streams < 1 {
+			streams = 1
+		}
+		rates := make([]Rate, 8)
+		for i := range rates {
+			rates[i] = HTRate(i, streams)
+		}
+		return rates
+	}
+	return append([]Rate(nil), RatesA...)
+}
+
+// ParseRate resolves a rate by its command-line name: "a6" through
+// "a54" for the 802.11a set, "mcs0" through "mcs7" for single-stream
+// HT, and "mcs<i>x<streams>" (e.g. "mcs7x4") for multi-stream HT.
+func ParseRate(s string) (Rate, error) {
+	for _, r := range RatesA {
+		if s == fmt.Sprintf("a%d", r.Kbps/1000) {
+			return r, nil
+		}
+	}
+	if rest, ok := strings.CutPrefix(s, "mcs"); ok {
+		mcsStr, streamsStr, multi := strings.Cut(rest, "x")
+		streams := 1
+		if multi {
+			n, err := strconv.Atoi(streamsStr)
+			if err != nil || n < 1 || n > 4 {
+				return Rate{}, fmt.Errorf("phy: unknown rate %q (want a6..a54, mcs0..mcs7, or mcs<i>x<streams>)", s)
+			}
+			streams = n
+		}
+		if mcs, err := strconv.Atoi(mcsStr); err == nil && mcs >= 0 && mcs <= 7 {
+			return HTRate(mcs, streams), nil
+		}
+	}
+	return Rate{}, fmt.Errorf("phy: unknown rate %q (want a6..a54, mcs0..mcs7, or mcs<i>x<streams>)", s)
 }
 
 // MAC timing constants shared by 802.11a and 802.11n OFDM PHYs.

@@ -1,16 +1,3 @@
-// Package scenario builds simulation configurations compositionally.
-// A scenario is a node.Config assembled from functional options — a
-// PHY/topology preset (With80211n, WithSoRa) refined by per-axis
-// options (WithMode, WithClients, WithSeed, WithRate, WithUniformLoss,
-// WithSNR, WithTopology, ...). A process-wide registry names the
-// paper's scenarios ("ht150-moredata", "sora-stock", ...) so CLIs and
-// tests can enumerate and look them up by string.
-//
-// Options apply in order: later options override earlier ones, so a
-// preset can be specialized freely:
-//
-//	cfg := scenario.New(scenario.With80211n(), scenario.WithMode(hack.ModeMoreData),
-//		scenario.WithClients(4), scenario.WithSeed(7))
 package scenario
 
 import (
@@ -104,6 +91,16 @@ func WithAckRate(r phy.Rate) Option {
 	return func(c *node.Config) { c.AckRate = r }
 }
 
+// WithRateAdapter selects per-station rate adaptation by spec:
+// "fixed" (pin the scenario's data rate — the default), "fixed:<rate>"
+// (pin a named rate, e.g. "fixed:mcs3"), "ideal" (oracle from the
+// channel's SNR→rate tables), or "minstrel" (sampling adapter).
+// Invalid specs panic when the network is assembled; CLIs should
+// pre-validate with mac.ParseAdapterSpec.
+func WithRateAdapter(spec string) Option {
+	return func(c *node.Config) { c.RateAdapter = spec }
+}
+
 // addErrorModel layers em onto any model already installed: multiple
 // loss sources act as independent processes (channel.Independent), so
 // e.g. WithSNR + WithUniformLoss simulate both.
@@ -131,6 +128,21 @@ func WithSNR(db float64) Option {
 		snr := db
 		em.SNROverrideDB = &snr
 		addErrorModel(c, em)
+	}
+}
+
+// WithBurstyLoss layers a Gilbert-Elliott two-state bursty loss
+// process onto the channel: the link flips between a good state (loss
+// pGood) and a bad state (loss pBad) with per-frame transition
+// probabilities gToB and bToG. The model is forked per network (see
+// channel.ForkableErrorModel), so the option is campaign-safe and can
+// join sweep grids.
+func WithBurstyLoss(gToB, bToG, pGood, pBad float64) Option {
+	return func(c *node.Config) {
+		addErrorModel(c, &channel.GilbertElliott{
+			PGoodToBad: gToB, PBadToGood: bToG,
+			LossGood: pGood, LossBad: pBad,
+		})
 	}
 }
 
@@ -243,6 +255,20 @@ func init() {
 				fmt.Sprintf("%s-%s", p.prefix, m.suffix),
 				fmt.Sprintf("%s, HACK mode %v", p.desc, m.mode),
 				p.opt(), WithMode(m.mode),
+			)
+		}
+	}
+	// Rate-adaptive variants of the 802.11n scenarios: the same preset
+	// with a per-station adapter instead of the pinned 150 Mbps rate.
+	for _, m := range []struct {
+		suffix string
+		mode   hack.Mode
+	}{{"stock", hack.ModeOff}, {"moredata", hack.ModeMoreData}} {
+		for _, a := range []string{"minstrel", "ideal"} {
+			Register(
+				fmt.Sprintf("ht150-%s-%s", m.suffix, a),
+				fmt.Sprintf("802.11n with %s rate adaptation, HACK mode %v", a, m.mode),
+				With80211n(), WithMode(m.mode), WithRateAdapter(a),
 			)
 		}
 	}

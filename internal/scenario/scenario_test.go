@@ -115,6 +115,22 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("missing built-in scenario %q (have %v)", want, names)
 		}
 	}
+	// Rate-adaptive variants carry the adapter spec.
+	for _, want := range []string{"ht150-moredata-minstrel", "ht150-moredata-ideal",
+		"ht150-stock-minstrel", "ht150-stock-ideal"} {
+		e, ok := Lookup(want)
+		if !ok {
+			t.Errorf("missing rate-adaptive scenario %q", want)
+			continue
+		}
+		cfg := e.Config()
+		if cfg.RateAdapter == "" || cfg.RateAdapter == "fixed" {
+			t.Errorf("%s: adapter spec not set (%q)", want, cfg.RateAdapter)
+		}
+	}
+	if cfg := New(With80211n(), WithRateAdapter("minstrel")); cfg.RateAdapter != "minstrel" {
+		t.Errorf("WithRateAdapter not applied: %q", cfg.RateAdapter)
+	}
 	if _, ok := Lookup("no-such-scenario"); ok {
 		t.Error("lookup of unknown name succeeded")
 	}

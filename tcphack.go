@@ -36,7 +36,9 @@
 // Underneath sit the subsystems the options parameterize:
 //
 //   - a deterministic discrete-event 802.11a/n simulator
-//     (internal/sim, internal/phy, internal/channel, internal/mac);
+//     (internal/sim, internal/phy, internal/channel, internal/mac),
+//     including per-station rate adaptation (WithRateAdapter: a fixed
+//     rate, an ideal-SNR oracle, or a Minstrel-style learner);
 //   - a standards-shaped TCP stack (internal/tcp) and real IPv4/TCP
 //     wire formats (internal/packet);
 //   - ROHC-style TCP ACK compression (internal/rohc);
@@ -63,6 +65,7 @@ import (
 	"tcphack/internal/channel"
 	"tcphack/internal/experiments"
 	"tcphack/internal/hack"
+	"tcphack/internal/mac"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
 	"tcphack/internal/scenario"
@@ -87,6 +90,9 @@ type (
 	Pos = channel.Pos
 	// ExperimentOptions scales the paper-reproduction runners.
 	ExperimentOptions = experiments.Options
+	// Fig11Result carries Figure 11's per-SNR goodput curves and the
+	// method that produced them (rate adapter or fixed-rate envelope).
+	Fig11Result = experiments.Fig11Result
 	// AnalyticalParams parameterizes the closed-form capacity models.
 	AnalyticalParams = analytical.Params
 )
@@ -122,8 +128,14 @@ var (
 	WithRate = scenario.WithRate
 	// WithAckRate pins the link-layer ACK rate.
 	WithAckRate = scenario.WithAckRate
+	// WithRateAdapter selects per-station rate adaptation:
+	// "fixed", "fixed:<rate>", "ideal", or "minstrel".
+	WithRateAdapter = scenario.WithRateAdapter
 	// WithUniformLoss applies a uniform per-frame loss probability.
 	WithUniformLoss = scenario.WithUniformLoss
+	// WithBurstyLoss layers a Gilbert-Elliott bursty loss process onto
+	// the channel (forked per network, campaign-safe).
+	WithBurstyLoss = scenario.WithBurstyLoss
 	// WithSNR fixes the channel SNR in dB via the physical error model.
 	WithSNR = scenario.WithSNR
 	// WithTopology places client i at the returned position.
@@ -202,6 +214,15 @@ func NewNetwork(cfg NetworkConfig) *Network { return node.New(cfg) }
 // ("off", "more-data", "opportunistic", "timer").
 func ParseMode(s string) (Mode, error) { return hack.ParseMode(s) }
 
+// ParseRateAdapter validates a rate-adapter spec ("fixed",
+// "fixed:<rate>", "ideal", "minstrel") — the string WithRateAdapter
+// and CampaignAxes.Adapters accept. CLIs call it to reject bad specs
+// before network construction (which panics on them).
+func ParseRateAdapter(s string) error {
+	_, err := mac.ParseAdapterSpec(s)
+	return err
+}
+
 // Rate54Mbps is the top 802.11a rate (the SoRa testbed's setting).
 var Rate54Mbps = phy.RateA54
 
@@ -230,6 +251,8 @@ var (
 	Fig9            = experiments.Fig9
 	Fig10           = experiments.Fig10
 	Fig11           = experiments.Fig11
+	Fig11Adaptive   = experiments.Fig11Adaptive
+	Fig11Envelope   = experiments.Fig11Envelope
 	Fig12           = experiments.Fig12
 	Table2          = experiments.Table2
 	Table3          = experiments.Table3
