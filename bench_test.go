@@ -1,14 +1,18 @@
-// Benchmarks regenerating every table and figure in the paper's
-// evaluation, plus ablations of the design choices DESIGN.md calls
-// out. Each benchmark reports the headline quantity of its experiment
-// via b.ReportMetric, so `go test -bench=. -benchmem` reprints the
-// paper's results. cmd/hackbench prints the same data as full tables.
+// Benchmarks for the campaign runner — the engine every experiment
+// rides on — plus ablations of the design choices DESIGN.md calls out
+// and a raw simulator event-rate measurement. The campaign benchmark
+// runs the same grid at -workers 1 and NumCPU so the reported
+// per-iteration times measure the parallel speedup directly
+// (`go test -bench=CampaignRun` prints both). cmd/hackbench
+// regenerates the paper's tables and figures themselves.
 package tcphack
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
-	"tcphack/internal/experiments"
+	"tcphack/internal/campaign"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/sim"
@@ -17,137 +21,53 @@ import (
 // benchOpts keeps per-iteration cost moderate; results stabilize at
 // these windows (the paper used 120 s runs; goodput differences
 // already resolve in a few simulated seconds of steady state).
-var benchOpts = experiments.Options{
+var benchOpts = struct {
+	Warmup, Measure sim.Duration
+}{
 	Warmup:  2 * sim.Second,
 	Measure: 3 * sim.Second,
-	Runs:    1,
-	Seed:    1,
 }
 
-func BenchmarkFig1aTheory(b *testing.B) {
-	var gain float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig1a()
-		gain = rows[len(rows)-1].GainPct
+// benchCampaignSpec is a representative sweep: the 802.11n scenario
+// over 2 modes × 2 client counts × 2 seeds = 8 independent
+// simulations, enough grid points to keep every worker busy.
+func benchCampaignSpec(workers int) campaign.Spec {
+	return campaign.Spec{
+		Name: "bench",
+		Base: Scenario80211n(ModeOff, 1),
+		Axes: campaign.Axes{
+			Modes:   []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+			Clients: []int{1, 2},
+			Seeds:   campaign.Seeds(1, 2),
+		},
+		Warmup:  sim.Second,
+		Measure: sim.Second,
+		Workers: workers,
 	}
-	b.ReportMetric(gain, "gain@54Mbps_%")
 }
 
-func BenchmarkFig1bTheory(b *testing.B) {
-	var gain float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig1b()
-		gain = rows[len(rows)-1].GainPct
+// BenchmarkCampaignRun measures the campaign runner itself: the same
+// 8-point grid serial (workers=1) and parallel (workers=NumCPU). The
+// ratio of the two per-iteration times is the parallel speedup; each
+// variant also reports its simulated-points-per-second throughput.
+func BenchmarkCampaignRun(b *testing.B) {
+	counts := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		counts = counts[:1] // single-core host: nothing to parallelize over
 	}
-	b.ReportMetric(gain, "gain@600Mbps_%")
-}
-
-func BenchmarkFig9SoRa(b *testing.B) {
-	var hackGain float64
-	for i := 0; i < b.N; i++ {
-		cells := experiments.Fig9(benchOpts)
-		var hck, tcp float64
-		for _, c := range cells {
-			if c.Clients == 1 {
-				switch c.Protocol {
-				case "HACK":
-					hck = c.TotalMbps
-				case "TCP":
-					tcp = c.TotalMbps
-				}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := benchCampaignSpec(workers)
+			points := len(spec.Points())
+			var goodput float64
+			for i := 0; i < b.N; i++ {
+				rs := campaign.Run(spec)
+				goodput = rs[0].AggregateMbps
 			}
-		}
-		hackGain = (hck - tcp) / tcp * 100
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+			b.ReportMetric(goodput, "row0_mbps")
+		})
 	}
-	b.ReportMetric(hackGain, "hack_gain_%")
-}
-
-func BenchmarkTable1Retries(b *testing.B) {
-	var tcpNoRetry, hackNoRetry float64
-	for i := 0; i < b.N; i++ {
-		for _, c := range experiments.Fig9(benchOpts) {
-			if c.Clients == 2 {
-				switch c.Protocol {
-				case "HACK":
-					hackNoRetry = c.NoRetryPct
-				case "TCP":
-					tcpNoRetry = c.NoRetryPct
-				}
-			}
-		}
-	}
-	b.ReportMetric(tcpNoRetry, "tcp_noretry_%")
-	b.ReportMetric(hackNoRetry, "hack_noretry_%")
-}
-
-func BenchmarkTable2Compression(b *testing.B) {
-	var ratio float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2(benchOpts, 8<<20)
-		ratio = rows[1].CompressionRatio
-	}
-	b.ReportMetric(ratio, "compression_x")
-}
-
-func BenchmarkTable3TimeBreakdown(b *testing.B) {
-	var tcpChannelMs, hackChannelMs float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Table3(benchOpts, 8<<20)
-		tcpChannelMs = rows[0].Breakdown.ChannelWait.Millis()
-		hackChannelMs = rows[1].Breakdown.ChannelWait.Millis()
-	}
-	b.ReportMetric(tcpChannelMs, "tcp_chan_ms")
-	b.ReportMetric(hackChannelMs, "hack_chan_ms")
-}
-
-func BenchmarkCrossValidation(b *testing.B) {
-	var recoveredGap float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.CrossValidation(benchOpts)
-		r := rows[0]
-		recoveredGap = r.IdealMbps - r.RecoveredMbps
-	}
-	b.ReportMetric(recoveredGap, "residual_gap_mbps")
-}
-
-func BenchmarkFig10Multiclient(b *testing.B) {
-	var gain1, gain4 float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig10(benchOpts, []int{1, 4})
-		for _, r := range rows {
-			if r.Protocol == "HACK MoreData" {
-				if r.Clients == 1 {
-					gain1 = r.GainOverTCPPct
-				} else {
-					gain4 = r.GainOverTCPPct
-				}
-			}
-		}
-	}
-	b.ReportMetric(gain1, "gain_1client_%")
-	b.ReportMetric(gain4, "gain_4clients_%")
-}
-
-func BenchmarkFig11SNR(b *testing.B) {
-	opts := benchOpts
-	opts.Warmup, opts.Measure = sim.Second, sim.Second
-	var mean float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig11(opts, []float64{5, 15, 25}, nil)
-		mean = res.MeanImprovementPct
-	}
-	b.ReportMetric(mean, "mean_improvement_%")
-}
-
-func BenchmarkFig12TheoryVsSim(b *testing.B) {
-	var simGain, theoGain float64
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig12(benchOpts, nil)
-		top := rows[len(rows)-1]
-		simGain, theoGain = top.SimGainPct, top.TheoGainPct
-	}
-	b.ReportMetric(simGain, "sim_gain_%")
-	b.ReportMetric(theoGain, "theory_gain_%")
 }
 
 // --- Ablations (DESIGN.md §5) ---

@@ -19,6 +19,17 @@
 //	hackbench -sweep ht150-stock -sweep-modes off,more-data \
 //	    -sweep-clients 1,2,4,10 -sweep-adapters fixed,ideal,minstrel \
 //	    -runs 3 -format csv
+//
+//	# persist a sweep's aggregated statistics, then detect regressions:
+//	hackbench -sweep sora-stock -sweep-modes off,more-data -runs 3 \
+//	    -save-baseline baseline.json
+//	hackbench -sweep sora-stock -sweep-modes off,more-data -runs 3 \
+//	    -baseline baseline.json          # exits 1 on regression
+//
+// The comparison aggregates rows with group-by (swept axes minus the
+// seed by default; -groupby overrides) and flags any group whose
+// goodput, retries, ROHC failures, or airtime moved in its worse
+// direction beyond the per-metric tolerance (-tol adjusts).
 package main
 
 import (
@@ -47,8 +58,14 @@ func main() {
 	sweepClients := flag.String("sweep-clients", "", "comma-separated client counts to sweep")
 	sweepLoss := flag.String("sweep-loss", "", "comma-separated uniform loss probabilities to sweep")
 	sweepAdapters := flag.String("sweep-adapters", "", "comma-separated rate adapters to sweep (fixed, fixed:<rate>, ideal, minstrel)")
+	sweepRates := flag.String("sweep-rates", "", "comma-separated PHY rates to sweep (a6..a54, mcs0..mcs7, mcs<i>x<streams>)")
 	fig11Method := flag.String("fig11-method", "ideal", "Figure 11 method: ideal, minstrel (one simulation per SNR), or envelope (legacy fixed-rate sweep)")
 	format := flag.String("format", "text", "sweep output: text, csv, json")
+	saveBaseline := flag.String("save-baseline", "", "aggregate the sweep and persist it as a baseline JSON file")
+	baseline := flag.String("baseline", "", "compare the sweep against this baseline file; exit 1 on regression")
+	groupBy := flag.String("groupby", "", "comma-separated axis columns to group the aggregation by (default: swept axes minus seed; with -baseline: the baseline's grouping)")
+	tolFlag := flag.String("tol", "", "per-metric relative-tolerance overrides for -baseline, e.g. aggregate_mbps=0.10,retries=0.25")
+	progress := flag.Bool("progress", false, "report sweep progress (rows completed / total) on stderr")
 	flag.Parse()
 
 	o := tcphack.ExperimentOptions{
@@ -60,11 +77,21 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(*sweep, *sweepModes, *sweepClients, *sweepLoss, *sweepAdapters, o, *format); err != nil {
+		sw := sweepConfig{
+			scenario: *sweep,
+			modes:    *sweepModes, clients: *sweepClients, loss: *sweepLoss,
+			adapters: *sweepAdapters, rates: *sweepRates,
+			format:       *format,
+			saveBaseline: *saveBaseline, baseline: *baseline,
+			groupBy: *groupBy, tol: *tolFlag,
+			progress: *progress,
+		}
+		code, err := runSweep(sw, o)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		return
+		os.Exit(code)
 	}
 
 	all := *fig == "" && *table == 0 && !*xval
@@ -95,68 +122,108 @@ func main() {
 	}
 }
 
-// runSweep executes an ad-hoc campaign over a named scenario.
-func runSweep(name, modesCSV, clientsCSV, lossCSV, adaptersCSV string, o tcphack.ExperimentOptions, format string) error {
-	switch format {
+// sweepConfig carries the -sweep flag set.
+type sweepConfig struct {
+	scenario                                string
+	modes, clients, loss, adapters, rates   string
+	format, saveBaseline, baseline, groupBy string
+	tol                                     string
+	progress                                bool
+}
+
+// runSweep executes an ad-hoc campaign over a named scenario and
+// optionally persists/compares its aggregated statistics. The int is
+// the process exit code: 0 clean, 1 when a baseline comparison found
+// regressions.
+func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
+	switch sw.format {
 	case "text", "csv", "json":
 	default:
-		return fmt.Errorf("unknown format %q (want text, csv, or json)", format)
+		return 0, fmt.Errorf("unknown format %q (want text, csv, or json)", sw.format)
 	}
-	base, ok := tcphack.LookupScenario(name)
+	base, ok := tcphack.LookupScenario(sw.scenario)
 	if !ok {
-		return fmt.Errorf("unknown scenario %q; hacksim -list shows the registry", name)
+		return 0, fmt.Errorf("unknown scenario %q; hacksim -list shows the registry", sw.scenario)
 	}
 	axes := tcphack.CampaignAxes{Seeds: tcphack.CampaignSeeds(o.Seed, o.Runs)}
-	if modesCSV != "" {
-		for _, s := range strings.Split(modesCSV, ",") {
+	if sw.modes != "" {
+		for _, s := range strings.Split(sw.modes, ",") {
 			m, err := tcphack.ParseMode(strings.TrimSpace(s))
 			if err != nil {
-				return err
+				return 0, err
 			}
 			axes.Modes = append(axes.Modes, m)
 		}
 	}
-	if clientsCSV != "" {
-		for _, s := range strings.Split(clientsCSV, ",") {
+	if sw.clients != "" {
+		for _, s := range strings.Split(sw.clients, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
-				return fmt.Errorf("bad client count %q", s)
+				return 0, fmt.Errorf("bad client count %q", s)
 			}
 			axes.Clients = append(axes.Clients, n)
 		}
 	}
-	if lossCSV != "" {
-		for _, s := range strings.Split(lossCSV, ",") {
+	if sw.loss != "" {
+		for _, s := range strings.Split(sw.loss, ",") {
 			p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
-				return fmt.Errorf("bad loss probability %q", s)
+				return 0, fmt.Errorf("bad loss probability %q", s)
 			}
 			axes.Loss = append(axes.Loss, p)
 		}
 	}
-	if adaptersCSV != "" {
-		for _, s := range strings.Split(adaptersCSV, ",") {
+	if sw.adapters != "" {
+		for _, s := range strings.Split(sw.adapters, ",") {
 			a := strings.TrimSpace(s)
 			if err := tcphack.ParseRateAdapter(a); err != nil {
-				return err
+				return 0, err
 			}
 			axes.Adapters = append(axes.Adapters, a)
 		}
 	}
+	if sw.rates != "" {
+		for _, s := range strings.Split(sw.rates, ",") {
+			r, err := tcphack.ParseNamedRate(strings.TrimSpace(s))
+			if err != nil {
+				return 0, err
+			}
+			axes.Rates = append(axes.Rates, r)
+		}
+	}
 
-	results := tcphack.RunCampaign(tcphack.Campaign{
-		Name:    name,
-		Base:    base,
-		Axes:    axes,
-		Warmup:  o.Warmup,
-		Measure: o.Measure,
-		Workers: o.Workers,
-	})
-	switch format {
+	workload, err := tcphack.NamedCampaignWorkload(tcphack.ScenarioWorkload(sw.scenario))
+	if err != nil {
+		return 0, err
+	}
+	spec := tcphack.Campaign{
+		Name:     sw.scenario,
+		Base:     base,
+		Axes:     axes,
+		Warmup:   o.Warmup,
+		Measure:  o.Measure,
+		Workers:  o.Workers,
+		Workload: workload,
+	}
+	if sw.progress {
+		spec.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d rows", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results := tcphack.RunCampaign(spec)
+
+	switch sw.format {
 	case "json":
-		return results.WriteJSON(os.Stdout)
+		if err := results.WriteJSON(os.Stdout); err != nil {
+			return 0, err
+		}
 	case "csv":
-		return results.WriteCSV(os.Stdout)
+		if err := results.WriteCSV(os.Stdout); err != nil {
+			return 0, err
+		}
 	default:
 		fmt.Printf("%-16s %-14s %8s %6s %-10s %9s %10s %8s %10s\n",
 			"campaign", "mode", "clients", "seed", "adapter", "loss%", "Mbps", "busy%", "no-retry%")
@@ -169,8 +236,120 @@ func runSweep(name, modesCSV, clientsCSV, lossCSV, adaptersCSV string, o tcphack
 				r.Campaign, r.ModeName, r.Clients, r.Seed, adapter, r.LossPct,
 				r.AggregateMbps, r.AirtimeBusyPct, r.NoRetryPct)
 		}
-		return nil
 	}
+
+	if sw.saveBaseline == "" && sw.baseline == "" {
+		return 0, nil
+	}
+	return baselineWorkflow(sw, results)
+}
+
+// baselineWorkflow aggregates the sweep and persists and/or compares
+// it.
+func baselineWorkflow(sw sweepConfig, rs tcphack.CampaignResults) (int, error) {
+	table := tcphack.NewResultsTable(rs)
+
+	var stored *tcphack.Baseline
+	if sw.baseline != "" {
+		var err error
+		stored, err = tcphack.LoadBaselineFile(sw.baseline)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Grouping: explicit -groupby wins; otherwise adopt the stored
+	// baseline's grouping (the two aggregations must agree to be
+	// comparable); otherwise the swept axes minus the seed.
+	var groupBy []string
+	switch {
+	case sw.groupBy != "":
+		for _, c := range strings.Split(sw.groupBy, ",") {
+			groupBy = append(groupBy, strings.TrimSpace(c))
+		}
+	case stored != nil:
+		groupBy = stored.GroupBy
+	default:
+		groupBy = table.SweptAxes()
+	}
+	agg, err := table.Aggregate(groupBy...)
+	if err != nil {
+		return 0, err
+	}
+
+	if sw.saveBaseline != "" {
+		if err := tcphack.SaveBaselineFile(sw.saveBaseline, tcphack.NewBaseline(agg)); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "baseline saved to %s (%d group(s), grouped by %s)\n",
+			sw.saveBaseline, len(agg.Groups), strings.Join(groupBy, ","))
+	}
+	if stored == nil {
+		return 0, nil
+	}
+
+	tolerances, err := parseTolerances(sw.tol)
+	if err != nil {
+		return 0, err
+	}
+	cmp, err := tcphack.CompareBaseline(agg, stored, tolerances)
+	if err != nil {
+		return 0, err
+	}
+	// Text mode owns stdout; with machine-readable formats the rows
+	// own stdout and the report must not corrupt them.
+	report := os.Stdout
+	if sw.format != "text" {
+		report = os.Stderr
+	}
+	cmp.Report(report)
+	// A lost baseline group is silently vanished coverage, so the gate
+	// fails on it too, not only on metric regressions.
+	if !cmp.Clean() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// parseTolerances applies -tol's metric=rel overrides on top of the
+// defaults. Metrics not in DefaultTolerances get a higher-is-worse
+// tolerance (the counter convention); prefix the value with "-" to
+// mean lower-is-worse (e.g. extra.upload_mbps=-0.05). Metric names are
+// validated against the results schema so a typo'd override errors
+// instead of silently judging the real metric at its default.
+func parseTolerances(spec string) (map[string]tcphack.Tolerance, error) {
+	tol := tcphack.DefaultTolerances()
+	if spec == "" {
+		return tol, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tol entry %q (want metric=rel)", kv)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("unknown -tol metric %q (want one of %s, per_client_mbps.<i>, or extra.<name>)",
+				name, strings.Join(tcphack.ResultsScalarMetrics, ", "))
+		}
+		lowerWorse := strings.HasPrefix(val, "-")
+		rel, err := strconv.ParseFloat(strings.TrimPrefix(val, "-"), 64)
+		if err != nil || rel < 0 {
+			return nil, fmt.Errorf("bad -tol value %q for %s", val, name)
+		}
+		t, exists := tol[name]
+		if !exists {
+			t = tcphack.Tolerance{}
+			if !lowerWorse {
+				t.Worse = tcphack.HigherIsWorse
+			}
+		}
+		if lowerWorse {
+			t.Worse = tcphack.LowerIsWorse
+		}
+		t.Rel = rel
+		tol[name] = t
+	}
+	return tol, nil
 }
 
 func fig1a() {
@@ -289,4 +468,15 @@ func fig12(o tcphack.ExperimentOptions) {
 			r.Rate, r.TheoryTCP, r.TheoryHACK, r.SimTCP, r.SimHACK, r.TheoGainPct, r.SimGainPct)
 	}
 	fmt.Println("paper: simulated gain (14% at 150 Mbps) exceeds the analytical 7% — HACK also removes collisions.")
+}
+
+// validMetricName accepts the results schema's metric columns: the
+// fixed scalar set plus the expanded per-client and Extra namespaces.
+func validMetricName(name string) bool {
+	for _, m := range tcphack.ResultsScalarMetrics {
+		if name == m {
+			return true
+		}
+	}
+	return strings.HasPrefix(name, "per_client_mbps.") || strings.HasPrefix(name, "extra.")
 }

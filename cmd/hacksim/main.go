@@ -13,6 +13,10 @@
 //	hacksim -mcs 3 -snr 18                   # lossy mid-rate link
 //	hacksim -scenario ht150-moredata -adapter minstrel -snr 25
 //	                                         # rate adaptation on a noisy link
+//	hacksim -adapter minstrel -snr 18 -rate-stats
+//	                                         # print the learned per-rate table
+//	hacksim -scenario ht150-upload -mode more-data
+//	                                         # registered upload workload
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 	sora := flag.Bool("sora", false, "apply the SoRa testbed artifacts (late LL ACKs, AP sender)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	upload := flag.Bool("upload", false, "upload instead of download")
+	rateStats := flag.Bool("rate-stats", false, "print the Minstrel adapters' learned per-rate statistics")
 	flag.Parse()
 
 	if *list {
@@ -128,15 +133,20 @@ func main() {
 		cfg = tcphack.NewScenario(opts...)
 	}
 
-	n := tcphack.NewNetwork(cfg)
-	for ci := 0; ci < cfg.Clients; ci++ {
-		stagger := tcphack.Duration(ci) * 50 * tcphack.Millisecond
-		if *upload {
-			n.StartUpload(ci, 0, stagger)
-		} else {
-			n.StartDownload(ci, 0, stagger)
-		}
+	// Traffic: the -upload flag forces uploads; otherwise a named
+	// scenario's registered workload kind applies ("" = download).
+	workloadKind := tcphack.ScenarioWorkload(*scenarioFlag)
+	if *upload {
+		workloadKind = "upload"
 	}
+	startFlows, err := tcphack.NamedCampaignWorkload(workloadKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	n := tcphack.NewNetwork(cfg)
+	startFlows(n, tcphack.CampaignPoint{Clients: cfg.Clients})
 	n.Run(tcphack.Duration(*warmup))
 	for _, f := range n.Flows {
 		f.Goodput.MarkWindow(n.Sched.Now())
@@ -153,9 +163,13 @@ func main() {
 	for i, f := range n.Flows {
 		mbps := f.Goodput.WindowMbps(n.Sched.Now())
 		total += mbps
-		fmt.Printf("  flow %d (client %d): %7.2f Mbps\n", i, f.Client, mbps)
+		dir := "down"
+		if f.Upload {
+			dir = "up"
+		}
+		fmt.Printf("  flow %d (client %d, %-4s): %7.2f Mbps\n", i, f.Client, dir, mbps)
 	}
-	fmt.Printf("  aggregate:          %7.2f Mbps\n\n", total)
+	fmt.Printf("  aggregate:               %7.2f Mbps\n\n", total)
 
 	ap := n.AP.MAC.Stats
 	fmt.Printf("AP MAC: frames=%d mpdus=%d delivered=%d retries=%d expired=%d timeouts=%d bars=%d qdrops=%d\n",
@@ -166,7 +180,7 @@ func main() {
 	if mode != tcphack.ModeOff {
 		var acct = n.Clients[0].Driver.Acct
 		who := "client0"
-		if *upload {
+		if workloadKind == "upload" {
 			acct = n.AP.Driver.Acct
 			who = "AP"
 		}
@@ -175,5 +189,40 @@ func main() {
 			float64(acct.CompressedBytes)/float64(max(acct.CompressedAcks, 1)),
 			acct.CompressionRatio(),
 			n.DecompFailures(), n.AP.Driver.DecompDuplicates+n.Clients[0].Driver.DecompDuplicates)
+	}
+
+	if *rateStats {
+		printRateStats(n, cfg.Clients)
+	}
+}
+
+// printRateStats dumps every Minstrel adapter's learned per-rate table
+// (mac.Minstrel.Snapshot): the AP's view toward each client and each
+// client's view toward the AP, when those stations run Minstrel and
+// have learned anything.
+func printRateStats(n *tcphack.Network, clients int) {
+	printed := false
+	dump := func(who string, stats []tcphack.RateStats) {
+		if stats == nil {
+			return
+		}
+		printed = true
+		fmt.Printf("\nminstrel %s:\n", who)
+		fmt.Printf("  %-14s %8s %12s %10s %10s %5s\n", "rate", "prob", "ewma tput", "attempts", "success", "best")
+		for _, s := range stats {
+			best := ""
+			if s.Best {
+				best = "*"
+			}
+			fmt.Printf("  %-14v %8.3f %10.1f M %10d %10d %5s\n",
+				s.Rate, s.Prob, s.TputKbps/1000, s.Attempts, s.Successes, best)
+		}
+	}
+	for ci := 0; ci < clients; ci++ {
+		dump(fmt.Sprintf("AP -> client %d", ci), n.APMinstrelStats(ci))
+		dump(fmt.Sprintf("client %d -> AP", ci), n.ClientMinstrelStats(ci))
+	}
+	if !printed {
+		fmt.Println("\nminstrel: no per-rate statistics (no station runs the minstrel adapter, or no frames flowed)")
 	}
 }

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -86,7 +88,8 @@ type Spec struct {
 	// Build replaces node.New for network construction.
 	Build func(cfg node.Config) *node.Network
 	// Workload starts traffic; the default starts one unbounded TCP
-	// download per client, staggered 50 ms apart.
+	// download per client, staggered 50 ms apart (NamedWorkload's
+	// "download").
 	Workload func(n *node.Network, pt Point)
 	// Collect extracts additional metrics into the point's Result
 	// (typically into Result.Extra) after the simulation finishes.
@@ -94,6 +97,58 @@ type Spec struct {
 	// Skip prunes a grid point without simulating; its Result row is
 	// emitted with Skipped set and zero metrics.
 	Skip func(pt Point) bool
+	// Progress, when set, is called after each grid point finishes
+	// (including skipped points) with the number of completed points
+	// and the grid total. Calls are serialized and done is strictly
+	// increasing from 1 to total, so the callback can drive live
+	// reporting without its own locking.
+	Progress func(done, total int)
+}
+
+// NamedWorkload returns the standard traffic pattern for a registered
+// workload kind — the vocabulary scenario.Entry.Workload uses:
+//
+//   - "" or "download": one unbounded TCP download per client,
+//     staggered 50 ms apart (the default).
+//   - "upload": one unbounded TCP upload per client, staggered 50 ms
+//     apart — the paper's wireless-backup direction (§3.1).
+//   - "mixed": clients alternate download/upload (even index down, odd
+//     index up); a lone client runs both directions concurrently.
+//
+// Upload goodput lands at the wired server rather than a client, so
+// Result.AggregateMbps folds upload flows in explicitly (see Result).
+func NamedWorkload(kind string) (func(n *node.Network, pt Point), error) {
+	switch kind {
+	case "", "download":
+		return func(n *node.Network, pt Point) {
+			for ci := 0; ci < pt.Clients; ci++ {
+				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
+			}
+		}, nil
+	case "upload":
+		return func(n *node.Network, pt Point) {
+			for ci := 0; ci < pt.Clients; ci++ {
+				n.StartUpload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
+			}
+		}, nil
+	case "mixed":
+		return func(n *node.Network, pt Point) {
+			if pt.Clients == 1 {
+				n.StartDownload(0, 0, 0)
+				n.StartUpload(0, 0, 25*sim.Millisecond)
+				return
+			}
+			for ci := 0; ci < pt.Clients; ci++ {
+				stagger := sim.Duration(ci) * 50 * sim.Millisecond
+				if ci%2 == 0 {
+					n.StartDownload(ci, 0, stagger)
+				} else {
+					n.StartUpload(ci, 0, stagger)
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown workload %q (want download, upload, or mixed)", kind)
 }
 
 // Result is one grid point's measurements.
@@ -104,7 +159,11 @@ type Result struct {
 	RateKbps int    `json:"rate_kbps"`
 	Skipped  bool   `json:"skipped,omitempty"`
 
-	// Goodput.
+	// Goodput. PerClientMbps measures bytes delivered at each client
+	// (downloads and UDP); AggregateMbps additionally folds in upload
+	// flows, whose goodput lands at the wired peer instead of a
+	// client, so upload and mixed workloads measure without a Collect
+	// hook.
 	PerClientMbps []float64 `json:"per_client_mbps"`
 	AggregateMbps float64   `json:"aggregate_mbps"`
 
@@ -149,11 +208,7 @@ func (s Spec) withDefaults() Spec {
 		s.Build = node.New
 	}
 	if s.Workload == nil {
-		s.Workload = func(n *node.Network, pt Point) {
-			for ci := 0; ci < pt.Clients; ci++ {
-				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
-			}
-		}
+		s.Workload, _ = NamedWorkload("download")
 	}
 	return s
 }
@@ -247,11 +302,37 @@ func (s Spec) config(pt Point) node.Config {
 // Run executes the sweep on the worker pool and returns one Result per
 // grid point, in Points() order. Each simulation is fully independent
 // (own scheduler, own RNG streams), so the output is identical for any
-// worker count.
+// worker count. Run never cancels; RunContext adds that.
 func Run(s Spec) Results {
+	rs, _ := RunContext(context.Background(), s)
+	return rs
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, no new
+// grid points start, in-flight simulations finish (a point is the unit
+// of work — individual simulations are not interruptible), and the
+// call returns ctx's error along with the partial Results. Rows whose
+// points never ran carry Skipped like a Skip-pruned point, so the
+// emitters and the results layer handle partial output unchanged;
+// completed rows sit at their Points() index as usual. The Progress
+// callback (see Spec) fires monotonically throughout.
+func RunContext(ctx context.Context, s Spec) (Results, error) {
 	s = s.withDefaults()
 	pts := s.Points()
 	results := make(Results, len(pts))
+	ran := make([]bool, len(pts))
+
+	var progressMu sync.Mutex
+	done := 0
+	finished := func() {
+		if s.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		s.Progress(done, len(pts))
+		progressMu.Unlock()
+	}
 
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -265,15 +346,31 @@ func Run(s Spec) Results {
 			defer wg.Done()
 			for i := range work {
 				results[i] = s.runPoint(pts[i])
+				ran[i] = true
+				finished()
 			}
 		}()
 	}
+feed:
 	for i := range pts {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
-	return results
+	for i := range pts {
+		if !ran[i] {
+			results[i] = Result{
+				Campaign: s.Name, Point: pts[i],
+				ModeName: pts[i].Mode.String(), RateKbps: pts[i].Rate.Kbps,
+				Skipped: true,
+			}
+		}
+	}
+	return results, ctx.Err()
 }
 
 func (s Spec) runPoint(pt Point) Result {
@@ -311,6 +408,19 @@ func (s Spec) runPoint(pt Point) Result {
 		}
 		r.PerClientMbps = append(r.PerClientMbps, mbps)
 		r.AggregateMbps += mbps
+	}
+	// Upload goodput lands at the wired peer, not a client, so fold
+	// upload flows into the aggregate separately (download and UDP
+	// traffic is already counted in the per-client meters).
+	for _, f := range n.Flows {
+		if !f.Upload {
+			continue
+		}
+		if s.Duration > 0 {
+			r.AggregateMbps += f.Goodput.Mbps(now)
+		} else {
+			r.AggregateMbps += f.Goodput.WindowMbps(now)
+		}
 	}
 	if now > 0 {
 		r.AirtimeBusyPct = 100 * float64(n.Medium.AirtimeBusy) / float64(now)

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"runtime"
@@ -308,6 +309,125 @@ func TestCollectAndDurationMode(t *testing.T) {
 	}
 	if r.Extra["native_acks"] == 0 {
 		t.Error("Collect hook did not run (no native ACKs recorded)")
+	}
+}
+
+// TestProgressMonotonic: the Progress callback must fire exactly once
+// per grid point with a strictly increasing done count, regardless of
+// worker interleaving.
+func TestProgressMonotonic(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		s := testSpec(workers)
+		var dones []int
+		s.Progress = func(done, total int) {
+			if total != 8 {
+				t.Errorf("workers=%d: total = %d, want 8", workers, total)
+			}
+			dones = append(dones, done)
+		}
+		rs, err := RunContext(context.Background(), s)
+		if err != nil {
+			t.Fatalf("workers=%d: RunContext: %v", workers, err)
+		}
+		if len(rs) != 8 || len(dones) != 8 {
+			t.Fatalf("workers=%d: %d rows, %d progress calls, want 8/8", workers, len(rs), len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress call %d reported done=%d (not monotonic)", workers, i, d)
+			}
+		}
+	}
+}
+
+// TestRunContextCancellation: cancelling mid-sweep must stop feeding
+// new points and return promptly with the completed rows plus the
+// context's error.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := testSpec(1)
+	s.Progress = func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}
+	rs, err := RunContext(ctx, s)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rs) != 8 {
+		t.Fatalf("%d rows, want the full (partially zero) 8-row slice", len(rs))
+	}
+	// Row 0 completed before the cancel; the tail never ran (with one
+	// worker at most one more point can already be in flight). Unrun
+	// points must come back Skipped so emitters and the results layer
+	// don't mistake them for real zero measurements.
+	if rs[0].Skipped || rs[0].AggregateMbps <= 0 {
+		t.Errorf("row 0 should have completed: %+v", rs[0])
+	}
+	ran := 0
+	for i, r := range rs {
+		if r.Campaign != "determinism" {
+			t.Errorf("row %d lost its campaign label: %+v", i, r)
+		}
+		if !r.Skipped {
+			ran++
+		} else if r.Index != i || r.AggregateMbps != 0 {
+			t.Errorf("unrun row %d not a clean skipped placeholder: %+v", i, r)
+		}
+	}
+	if ran > 2 {
+		t.Errorf("%d rows ran after cancellation at done=1 with 1 worker, want ≤ 2", ran)
+	}
+	// The partial run must agree row-for-row with an uncancelled one.
+	full := Run(testSpec(1))
+	for i, r := range rs {
+		if !r.Skipped && !reflect.DeepEqual(r, full[i]) {
+			t.Errorf("partial row %d differs from the full run", i)
+		}
+	}
+}
+
+// TestNamedWorkloads: the registered traffic patterns must measure
+// goodput through the standard metrics — in particular upload goodput,
+// which lands at the wired peer rather than a client, must be folded
+// into AggregateMbps.
+func TestNamedWorkloads(t *testing.T) {
+	run := func(kind string, clients int) Result {
+		wl, err := NamedWorkload(kind)
+		if err != nil {
+			t.Fatalf("NamedWorkload(%q): %v", kind, err)
+		}
+		s := Spec{
+			Name:     kind,
+			Base:     scenario.New(scenario.WithSoRa(), scenario.WithClients(clients)),
+			Warmup:   500 * sim.Millisecond,
+			Measure:  500 * sim.Millisecond,
+			Workers:  1,
+			Workload: wl,
+		}
+		return Run(s)[0]
+	}
+
+	up := run("upload", 1)
+	if up.AggregateMbps <= 0 {
+		t.Errorf("upload workload: aggregate %.2f Mbps, want > 0 (upload flows not folded in?)", up.AggregateMbps)
+	}
+	if up.PerClientMbps[0] != 0 {
+		t.Errorf("upload workload: client meter %.2f Mbps, want 0 (goodput lands at the peer)", up.PerClientMbps[0])
+	}
+
+	mixed := run("mixed", 2)
+	if mixed.PerClientMbps[0] <= 0 {
+		t.Errorf("mixed workload: downloading client got %.2f Mbps", mixed.PerClientMbps[0])
+	}
+	if mixed.AggregateMbps <= mixed.PerClientMbps[0]+mixed.PerClientMbps[1] {
+		t.Errorf("mixed workload: aggregate %.2f Mbps does not exceed the download share %.2f (upload missing)",
+			mixed.AggregateMbps, mixed.PerClientMbps[0]+mixed.PerClientMbps[1])
+	}
+
+	if _, err := NamedWorkload("bogus"); err == nil {
+		t.Error("NamedWorkload(bogus) did not error")
 	}
 }
 

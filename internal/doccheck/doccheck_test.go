@@ -22,6 +22,7 @@ import (
 var auditedPackages = []string{
 	"internal/scenario",
 	"internal/campaign",
+	"internal/results",
 	"internal/mac",
 	"internal/hack",
 	"internal/channel",

@@ -7,15 +7,17 @@
 package experiments
 
 import (
+	"strconv"
+
 	"tcphack/internal/analytical"
 	"tcphack/internal/campaign"
 	"tcphack/internal/channel"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/results"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
-	"tcphack/internal/stats"
 )
 
 // Options scales the simulations. The defaults run every experiment in
@@ -171,11 +173,13 @@ var fig9Protocols = []struct {
 // Fig9 runs the SoRa testbed experiments: bulk downloads to one and
 // two clients under UDP, TCP/HACK, and stock TCP (Figure 9), also
 // yielding Table 1's retry percentages. Each protocol's
-// {clients × seeds} grid runs as one parallel campaign.
+// {clients × seeds} grid runs as one parallel campaign; seeded
+// repetitions aggregate through the results layer (group by client
+// count, mean per metric).
 func Fig9(o Options) []Fig9Cell {
 	o = o.withDefaults()
 	clientCounts := []int{1, 2}
-	byProto := make(map[string]campaign.Results, len(fig9Protocols))
+	byProto := make(map[string]*results.Agg, len(fig9Protocols))
 	for _, proto := range fig9Protocols {
 		spec := o.spec("fig9-"+proto.Name, soraBase(proto.Mode))
 		spec.Axes = campaign.Axes{
@@ -184,28 +188,24 @@ func Fig9(o Options) []Fig9Cell {
 		}
 		spec.Build = buildSora
 		spec.Workload = soraWorkload(proto.UDP)
-		byProto[proto.Name] = campaign.Run(spec)
+		agg, err := results.FromResults(campaign.Run(spec)).Aggregate("clients")
+		if err != nil {
+			panic(err) // static group-by column
+		}
+		byProto[proto.Name] = agg
 	}
 
 	var out []Fig9Cell
 	for _, clients := range clientCounts {
+		key := results.Num(float64(clients))
 		for _, proto := range fig9Protocols {
-			var total, noRetry stats.Summary
-			per := make([]stats.Summary, clients)
-			for _, r := range byProto[proto.Name] {
-				if r.Clients != clients {
-					continue
-				}
-				total.Observe(r.AggregateMbps)
-				noRetry.Observe(r.NoRetryPct)
-				for ci := 0; ci < clients; ci++ {
-					per[ci].Observe(r.PerClientMbps[ci])
-				}
-			}
+			agg := byProto[proto.Name]
 			cell := Fig9Cell{Protocol: proto.Name, Clients: clients,
-				TotalMbps: total.Mean(), NoRetryPct: noRetry.Mean()}
-			for ci := range per {
-				cell.PerClientMbps = append(cell.PerClientMbps, per[ci].Mean())
+				TotalMbps:  agg.MeanAt("aggregate_mbps", key),
+				NoRetryPct: agg.MeanAt("no_retry_pct", key)}
+			for ci := 0; ci < clients; ci++ {
+				cell.PerClientMbps = append(cell.PerClientMbps,
+					agg.MeanAt("per_client_mbps."+strconv.Itoa(ci), key))
 			}
 			out = append(out, cell)
 		}

@@ -7,9 +7,9 @@ import (
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/results"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
-	"tcphack/internal/stats"
 )
 
 // ht150Base builds the §4.3 ns-3 scenario via the builder: 802.11n at
@@ -46,13 +46,15 @@ var Fig10Protocols = []struct {
 // Fig10 reproduces Figure 10: aggregate steady-state goodput for
 // 1/2/4/10 clients under UDP, TCP/HACK (MORE DATA), opportunistic
 // HACK, and stock TCP on the 150 Mbps 802.11n network. Each
-// protocol's {clients × seeds} grid runs as one parallel campaign.
+// protocol's {clients × seeds} grid runs as one parallel campaign;
+// seeded repetitions aggregate through the results layer, whose
+// per-group deviation becomes the figure's error bars.
 func Fig10(o Options, clientCounts []int) []Fig10Row {
 	o = o.withDefaults()
 	if clientCounts == nil {
 		clientCounts = []int{1, 2, 4, 10}
 	}
-	byProto := make(map[string]campaign.Results, len(Fig10Protocols))
+	byProto := make(map[string]*results.Agg, len(Fig10Protocols))
 	for _, proto := range Fig10Protocols {
 		spec := o.spec("fig10-"+proto.Name, ht150Base(proto.Mode))
 		spec.Axes = campaign.Axes{
@@ -70,34 +72,27 @@ func Fig10(o Options, clientCounts []int) []Fig10Row {
 				}
 			}
 		}
-		byProto[proto.Name] = campaign.Run(spec)
+		agg, err := results.FromResults(campaign.Run(spec)).Aggregate("clients")
+		if err != nil {
+			panic(err) // static group-by column
+		}
+		byProto[proto.Name] = agg
 	}
 
 	var rows []Fig10Row
 	for _, clients := range clientCounts {
-		tcpIdx := -1
+		key := results.Num(float64(clients))
+		tcp := byProto["TCP"].MeanAt("aggregate_mbps", key)
 		for _, proto := range Fig10Protocols {
-			var agg stats.Summary
-			for _, r := range byProto[proto.Name] {
-				if r.Clients == clients {
-					agg.Observe(r.AggregateMbps)
-				}
-			}
-			rows = append(rows, Fig10Row{
+			st, _ := byProto[proto.Name].StatAt("aggregate_mbps", key)
+			row := Fig10Row{
 				Clients: clients, Protocol: proto.Name,
-				AggregateMbps: agg.Mean(), StdDev: agg.StdDev(),
-			})
-			if proto.Name == "TCP" {
-				tcpIdx = len(rows) - 1
+				AggregateMbps: st.Mean, StdDev: st.StdDev,
 			}
-		}
-		if tcpIdx >= 0 {
-			tcp := rows[tcpIdx].AggregateMbps
-			for i := tcpIdx - 3; i < tcpIdx; i++ {
-				if tcp > 0 {
-					rows[i].GainOverTCPPct = (rows[i].AggregateMbps - tcp) / tcp * 100
-				}
+			if proto.Name != "TCP" && tcp > 0 {
+				row.GainOverTCPPct = (st.Mean - tcp) / tcp * 100
 			}
+			rows = append(rows, row)
 		}
 	}
 	return rows
@@ -182,20 +177,20 @@ func Fig11Adaptive(o Options, snrsDB []float64, rates []phy.Rate, adapter string
 	spec.Workload = func(n *node.Network, pt campaign.Point) {
 		n.StartDownload(0, 0, 0)
 	}
-	results := campaign.Run(spec)
+	agg, err := results.FromResults(campaign.Run(spec)).Aggregate("mode", "snr_db")
+	if err != nil {
+		panic(err) // static group-by columns
+	}
 
 	res := Fig11Result{
 		Method:       adapter,
 		EnvelopeTCP:  make(map[float64]float64),
 		EnvelopeHACK: make(map[float64]float64),
 	}
-	for _, r := range results {
-		switch r.Mode {
-		case hack.ModeOff:
-			res.EnvelopeTCP[r.SNRdB] = r.AggregateMbps
-		case hack.ModeMoreData:
-			res.EnvelopeHACK[r.SNRdB] = r.AggregateMbps
-		}
+	for _, snr := range snrsDB {
+		key := results.Num(snr)
+		res.EnvelopeTCP[snr] = agg.MeanAt("aggregate_mbps", hack.ModeOff.String(), key)
+		res.EnvelopeHACK[snr] = agg.MeanAt("aggregate_mbps", hack.ModeMoreData.String(), key)
 	}
 	finishFig11(&res, snrsDB)
 	return res
@@ -232,15 +227,16 @@ func Fig11Envelope(o Options, snrsDB []float64, rates []phy.Rate) Fig11Result {
 	spec.Workload = func(n *node.Network, pt campaign.Point) {
 		n.StartDownload(0, 0, 0)
 	}
-	results := campaign.Run(spec)
+	agg, err := results.FromResults(campaign.Run(spec)).Aggregate("mode", "rate_kbps", "snr_db")
+	if err != nil {
+		panic(err) // static group-by columns
+	}
 
+	// Skipped (hopeless) cells are absent from the aggregation and
+	// read as zero goodput.
 	goodput := func(mode hack.Mode, rate phy.Rate, snr float64) float64 {
-		for _, r := range results {
-			if r.Mode == mode && r.Rate.Kbps == rate.Kbps && r.SNRdB == snr {
-				return r.AggregateMbps
-			}
-		}
-		return 0
+		return agg.MeanAt("aggregate_mbps",
+			mode.String(), results.Num(float64(rate.Kbps)), results.Num(snr))
 	}
 
 	res := Fig11Result{
@@ -300,15 +296,13 @@ func Fig12(o Options, rates []phy.Rate) []Fig12Row {
 	spec.Workload = func(n *node.Network, pt campaign.Point) {
 		n.StartDownload(0, 0, 0)
 	}
-	results := campaign.Run(spec)
+	agg, err := results.FromResults(campaign.Run(spec)).Aggregate("mode", "rate_kbps")
+	if err != nil {
+		panic(err) // static group-by columns
+	}
 
 	goodput := func(mode hack.Mode, rate phy.Rate) float64 {
-		for _, r := range results {
-			if r.Mode == mode && r.Rate.Kbps == rate.Kbps {
-				return r.AggregateMbps
-			}
-		}
-		return 0
+		return agg.MeanAt("aggregate_mbps", mode.String(), results.Num(float64(rate.Kbps)))
 	}
 
 	var rows []Fig12Row

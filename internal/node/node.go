@@ -554,6 +554,40 @@ func (n *Network) Run(until sim.Duration) {
 	n.Sched.RunUntil(sim.Time(until))
 }
 
+// minstrelOf returns the station's Minstrel adapter, or nil when the
+// station runs a different (or no) rate-adaptation strategy.
+func minstrelOf(st *mac.Station) *mac.Minstrel {
+	m, _ := st.Config().RateAdapter.(*mac.Minstrel)
+	return m
+}
+
+// APMinstrelStats returns the per-rate statistics the AP's Minstrel
+// adapter has learned toward client ci — the download direction's
+// learned state. It returns nil when the AP is not running Minstrel,
+// ci is out of range, or no frames have flowed toward that client yet.
+func (n *Network) APMinstrelStats(ci int) []mac.RateStats {
+	if ci < 0 || ci >= len(n.Clients) {
+		return nil
+	}
+	if m := minstrelOf(n.AP.MAC); m != nil {
+		return m.Snapshot(n.Clients[ci].MACAddr)
+	}
+	return nil
+}
+
+// ClientMinstrelStats returns the per-rate statistics client ci's
+// Minstrel adapter has learned toward the AP — the upload direction
+// (and TCP ACK traffic under stock TCP).
+func (n *Network) ClientMinstrelStats(ci int) []mac.RateStats {
+	if ci < 0 || ci >= len(n.Clients) {
+		return nil
+	}
+	if m := minstrelOf(n.Clients[ci].MAC); m != nil {
+		return m.Snapshot(apMAC)
+	}
+	return nil
+}
+
 // DecompFailures totals ROHC decompression failures across all nodes —
 // the paper's §4.3 health check (must be zero).
 func (n *Network) DecompFailures() uint64 {

@@ -1,0 +1,95 @@
+package results
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BaselineVersion is the on-disk format version; ReadBaseline rejects
+// files written by an incompatible future format.
+const BaselineVersion = 1
+
+// Baseline is a persisted aggregation: the reference a later run of
+// the same sweep is compared against. The file form is deterministic
+// JSON (sorted map keys, fixed group order), so regenerating an
+// unchanged sweep rewrites an identical file — friendly to version
+// control and CI golden files.
+type Baseline struct {
+	Version     int      `json:"version"`
+	Campaign    string   `json:"campaign"`
+	Fingerprint string   `json:"fingerprint"`
+	GroupBy     []string `json:"group_by"`
+	Groups      []Group  `json:"groups"`
+}
+
+// NewBaseline snapshots an aggregation as a baseline.
+func NewBaseline(a *Agg) *Baseline {
+	return &Baseline{
+		Version:     BaselineVersion,
+		Campaign:    a.Campaign,
+		Fingerprint: a.Fingerprint,
+		GroupBy:     a.GroupBy,
+		Groups:      a.Groups,
+	}
+}
+
+// Fingerprint identifies the sweep's shape: a hash over the campaign
+// name, the axis columns, and each axis's sorted distinct values.
+// Runs of the same scenario and grid share a fingerprint regardless of
+// row order or worker count; changing any axis (different rates, an
+// added loss point) changes it, which Compare reports as a shape
+// mismatch.
+func (t *Table) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign=%s\n", t.Campaign)
+	for _, col := range AxisColumns {
+		fmt.Fprintf(h, "%s=%v\n", col, t.axisValues(col))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// Write emits the baseline as indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline decodes a baseline and validates its version.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("results: decoding baseline: %v", err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("results: baseline version %d, this build reads %d",
+			b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// SaveBaselineFile writes the baseline to path.
+func SaveBaselineFile(path string, b *Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := b.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBaselineFile reads a baseline from path.
+func LoadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}

@@ -1,0 +1,258 @@
+package results
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Direction says which way a metric gets worse.
+type Direction int
+
+// The two regression directions: goodput regresses downward, error
+// counters regress upward.
+const (
+	LowerIsWorse Direction = iota
+	HigherIsWorse
+)
+
+func (d Direction) String() string {
+	if d == HigherIsWorse {
+		return "higher-is-worse"
+	}
+	return "lower-is-worse"
+}
+
+// Tolerance bounds how far one metric's mean may move in its worse
+// direction before Compare flags a regression: the allowance is
+// max(|baseline|·Rel, Abs), so Rel governs healthy operating points
+// and Abs absorbs noise around zero (a baseline of 0 retries must not
+// flag 1).
+type Tolerance struct {
+	// Rel is the allowed relative change (0.05 = 5%).
+	Rel float64 `json:"rel"`
+	// Abs is the absolute slack floor, in the metric's own unit.
+	Abs float64 `json:"abs"`
+	// Worse is the direction in which the metric degrades.
+	Worse Direction `json:"worse"`
+}
+
+// DefaultTolerances covers the paper's health metrics: goodput
+// (lower is worse), retry volume, ROHC decompression failures (§4.3
+// demands zero, so any real growth flags), and medium airtime.
+func DefaultTolerances() map[string]Tolerance {
+	return map[string]Tolerance{
+		"aggregate_mbps":   {Rel: 0.05, Abs: 0.05, Worse: LowerIsWorse},
+		"retries":          {Rel: 0.10, Abs: 50, Worse: HigherIsWorse},
+		"decomp_failures":  {Rel: 0, Abs: 0.5, Worse: HigherIsWorse},
+		"airtime_busy_pct": {Rel: 0.05, Abs: 1, Worse: HigherIsWorse},
+	}
+}
+
+// MetricDelta is one metric's baseline-vs-run movement within a group.
+type MetricDelta struct {
+	Metric string  `json:"metric"`
+	Base   Stat    `json:"base"`
+	Run    Stat    `json:"run"`
+	Change float64 `json:"change"` // signed relative change of the mean
+	// Regressed is set when the mean moved in the metric's worse
+	// direction beyond its tolerance.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// GroupResult is the comparison of one matched group.
+type GroupResult struct {
+	Key       []string      `json:"key"`
+	Deltas    []MetricDelta `json:"deltas"`
+	Regressed bool          `json:"regressed,omitempty"`
+}
+
+// Comparison is the outcome of matching a run against a baseline.
+type Comparison struct {
+	Campaign string   `json:"campaign"`
+	GroupBy  []string `json:"group_by"`
+	// FingerprintMatched is false when the run's sweep shape (axes and
+	// their values) differs from the baseline's; matched groups are
+	// still compared, so a deliberately degraded axis value (say a
+	// forced lower rate) surfaces as regressions rather than silence.
+	FingerprintMatched bool `json:"fingerprint_matched"`
+	// BaselineOnly and RunOnly list group keys present on one side
+	// only (grid shrank or grew).
+	BaselineOnly [][]string    `json:"baseline_only,omitempty"`
+	RunOnly      [][]string    `json:"run_only,omitempty"`
+	Groups       []GroupResult `json:"groups"`
+}
+
+// Compare matches the run's groups against the baseline's by key and
+// evaluates every metric that has a tolerance entry and appears on
+// both sides. A nil tolerances map uses DefaultTolerances. The group-by
+// columns must agree — comparing incompatible aggregations is an
+// error, not a report.
+func Compare(run *Agg, base *Baseline, tolerances map[string]Tolerance) (*Comparison, error) {
+	if !slices.Equal(run.GroupBy, base.GroupBy) {
+		return nil, fmt.Errorf("results: group-by mismatch: run %v vs baseline %v",
+			run.GroupBy, base.GroupBy)
+	}
+	if tolerances == nil {
+		tolerances = DefaultTolerances()
+	}
+	c := &Comparison{
+		Campaign:           run.Campaign,
+		GroupBy:            run.GroupBy,
+		FingerprintMatched: run.Fingerprint == base.Fingerprint,
+	}
+
+	baseByKey := make(map[string]*Group, len(base.Groups))
+	for i := range base.Groups {
+		baseByKey[strings.Join(base.Groups[i].Key, keySep)] = &base.Groups[i]
+	}
+	runKeys := make(map[string]bool, len(run.Groups))
+	for i := range run.Groups {
+		g := &run.Groups[i]
+		id := strings.Join(g.Key, keySep)
+		runKeys[id] = true
+		bg, ok := baseByKey[id]
+		if !ok {
+			c.RunOnly = append(c.RunOnly, g.Key)
+			continue
+		}
+		c.Groups = append(c.Groups, compareGroup(g, bg, tolerances))
+	}
+	for i := range base.Groups {
+		if !runKeys[strings.Join(base.Groups[i].Key, keySep)] {
+			c.BaselineOnly = append(c.BaselineOnly, base.Groups[i].Key)
+		}
+	}
+	return c, nil
+}
+
+// compareGroup evaluates every toleranced metric present on both sides.
+func compareGroup(run, base *Group, tolerances map[string]Tolerance) GroupResult {
+	gr := GroupResult{Key: run.Key}
+	metrics := make([]string, 0, len(tolerances))
+	for m := range tolerances {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		rs, rok := run.Metrics[m]
+		bs, bok := base.Metrics[m]
+		if !rok || !bok {
+			continue
+		}
+		d := MetricDelta{Metric: m, Base: bs, Run: rs}
+		if bs.Mean != 0 {
+			d.Change = (rs.Mean - bs.Mean) / bs.Mean
+		} else if rs.Mean != 0 {
+			d.Change = 1
+		}
+		tol := tolerances[m]
+		allow := math.Abs(bs.Mean) * tol.Rel
+		if allow < tol.Abs {
+			allow = tol.Abs
+		}
+		switch tol.Worse {
+		case LowerIsWorse:
+			d.Regressed = rs.Mean < bs.Mean-allow
+		case HigherIsWorse:
+			d.Regressed = rs.Mean > bs.Mean+allow
+		}
+		if d.Regressed {
+			gr.Regressed = true
+		}
+		gr.Deltas = append(gr.Deltas, d)
+	}
+	return gr
+}
+
+// Regressions returns only the groups that regressed.
+func (c *Comparison) Regressions() []GroupResult {
+	var out []GroupResult
+	for _, g := range c.Groups {
+		if g.Regressed {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// HasRegressions reports whether any matched group regressed.
+func (c *Comparison) HasRegressions() bool {
+	return len(c.Regressions()) > 0
+}
+
+// Clean is the gate verdict: no matched group regressed AND no
+// baseline group went missing from the run. Losing a group (a shrunken
+// sweep, a newly pruned grid point) silently removes regression
+// coverage, so gates treat it as a failure rather than a warning; new
+// run-only groups are fine — coverage grew.
+func (c *Comparison) Clean() bool {
+	return !c.HasRegressions() && len(c.BaselineOnly) == 0
+}
+
+// keyString renders a group key against the group-by columns
+// ("mode=off clients=2"); the grand group renders as "(all)".
+func keyString(groupBy, key []string) string {
+	if len(key) == 0 {
+		return "(all)"
+	}
+	parts := make([]string, len(key))
+	for i := range key {
+		v := key[i]
+		if v == "" {
+			v = `""`
+		}
+		parts[i] = groupBy[i] + "=" + v
+	}
+	return strings.Join(parts, " ")
+}
+
+// Report writes the human-readable comparison: one line per group, the
+// per-metric movements of any regressed group, and a verdict line.
+func (c *Comparison) Report(w io.Writer) {
+	fmt.Fprintf(w, "baseline comparison: campaign %q, %d group(s) matched",
+		c.Campaign, len(c.Groups))
+	if len(c.GroupBy) > 0 {
+		fmt.Fprintf(w, ", grouped by %s", strings.Join(c.GroupBy, ","))
+	}
+	fmt.Fprintln(w)
+	if !c.FingerprintMatched {
+		fmt.Fprintln(w, "warning: sweep shape differs from the baseline (axes or their values changed); comparing matched groups only")
+	}
+	for _, key := range c.BaselineOnly {
+		fmt.Fprintf(w, "warning: baseline group %s missing from this run\n", keyString(c.GroupBy, key))
+	}
+	for _, key := range c.RunOnly {
+		fmt.Fprintf(w, "note: group %s has no baseline (new grid point)\n", keyString(c.GroupBy, key))
+	}
+	for _, g := range c.Groups {
+		status := "ok"
+		if g.Regressed {
+			status = "REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-40s %s\n", keyString(c.GroupBy, g.Key), status)
+		for _, d := range g.Deltas {
+			if !g.Regressed && !d.Regressed {
+				continue
+			}
+			mark := ""
+			if d.Regressed {
+				mark = "  <-- beyond tolerance"
+			}
+			fmt.Fprintf(w, "      %-18s %12.3f -> %-12.3f (%+.1f%%)%s\n",
+				d.Metric, d.Base.Mean, d.Run.Mean, d.Change*100, mark)
+		}
+	}
+	switch {
+	case c.HasRegressions():
+		fmt.Fprintf(w, "RESULT: %d of %d group(s) regressed\n", len(c.Regressions()), len(c.Groups))
+	case len(c.BaselineOnly) > 0:
+		fmt.Fprintf(w, "RESULT: no metric regressions, but %d baseline group(s) lost coverage\n",
+			len(c.BaselineOnly))
+	default:
+		fmt.Fprintf(w, "RESULT: no regressions across %d group(s)\n", len(c.Groups))
+	}
+}

@@ -1,0 +1,48 @@
+// Package results is the statistical layer above the campaign runner:
+// it turns raw campaign.Results rows into a typed Table, aggregates the
+// table with group-by semantics (any subset of axis columns → count,
+// mean, standard deviation, min, max, and a 95% confidence interval per
+// metric), persists aggregated sweeps as versioned JSON baselines, and
+// compares a fresh run against a stored baseline to flag regressions
+// beyond configurable per-metric tolerances.
+//
+// The paper's evaluation (§4, Figures 9–12, Tables 2–3) is built from
+// exactly this discipline — repeated seeded sweeps summarized into
+// means with deviation bars — so every runner in internal/experiments
+// aggregates through this package instead of hand-rolling summary
+// loops.
+//
+// # Pipeline
+//
+// Data flows through four stages, each usable on its own:
+//
+//	campaign.Results ──FromResults──▶ Table ──Aggregate──▶ Agg
+//	                                    ▲                   │
+//	         ReadCSV / ReadJSON ────────┘        NewBaseline │ Compare
+//	         (campaign emitter output)                       ▼
+//	                                                 Baseline ⇄ JSON
+//
+// A Table holds one row per simulated grid point: the sweep-axis
+// columns (mode, clients, seed, rate_kbps, adapter, loss_pct, snr_db)
+// as canonical strings and every scalar metric as a float64, including
+// expanded per-client goodputs ("per_client_mbps.0", …) and campaign
+// Extra metrics ("extra.<name>"). Tables build losslessly from
+// in-memory campaign.Results or from the campaign CSV/JSON emitters'
+// output, so a sweep can be aggregated live or re-loaded later.
+//
+// Aggregate groups rows on any subset of axis columns — typically the
+// swept axes minus the seed, which SweptAxes computes — and reduces
+// each metric per group. Group order and all serialized forms are
+// deterministic: equal inputs produce byte-identical baselines.
+//
+// # Baselines and regression detection
+//
+// NewBaseline snapshots an aggregation together with a fingerprint of
+// the sweep (campaign name, axis columns, and each axis's distinct
+// values), and Compare matches a fresh aggregation's groups against a
+// stored baseline's, flagging any metric whose mean moved in its worse
+// direction (lower goodput, more retries, more decompression failures,
+// more airtime) beyond the metric's relative tolerance. cmd/hackbench
+// exposes the workflow as -save-baseline / -baseline / -groupby, and a
+// committed golden baseline gates CI.
+package results

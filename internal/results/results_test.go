@@ -1,0 +1,381 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcphack/internal/campaign"
+	"tcphack/internal/hack"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// testResults runs one small lossy SoRa campaign: 2 modes × 2 clients
+// × 2 seeds = 8 rows, the same grid the campaign determinism tests
+// use.
+func testResults(t *testing.T) campaign.Results {
+	t.Helper()
+	return campaign.Run(campaign.Spec{
+		Name: "results-test",
+		Base: scenario.New(scenario.WithSoRa(), scenario.WithUniformLoss(0.01)),
+		Axes: campaign.Axes{
+			Modes:   []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+			Clients: []int{1, 2},
+			Seeds:   campaign.Seeds(1, 2),
+		},
+		Warmup:  500 * sim.Millisecond,
+		Measure: 500 * sim.Millisecond,
+	})
+}
+
+func TestFromResultsShape(t *testing.T) {
+	rs := testResults(t)
+	tab := FromResults(rs)
+	if tab.Campaign != "results-test" {
+		t.Errorf("campaign = %q", tab.Campaign)
+	}
+	if len(tab.Rows) != len(rs) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(rs))
+	}
+	r0 := tab.Rows[0]
+	for _, col := range AxisColumns {
+		if _, ok := r0.Axes[col]; !ok {
+			t.Errorf("row 0 missing axis %q", col)
+		}
+	}
+	for _, m := range ScalarMetrics {
+		if _, ok := r0.Metrics[m]; !ok {
+			t.Errorf("row 0 missing metric %q", m)
+		}
+	}
+	if _, ok := r0.Metrics["per_client_mbps.0"]; !ok {
+		t.Error("per-client goodput not expanded into metrics")
+	}
+	if got := tab.SweptAxes(); !reflect.DeepEqual(got, []string{"mode", "clients"}) {
+		t.Errorf("SweptAxes = %v, want [mode clients]", got)
+	}
+}
+
+// TestJSONRoundTripLossless: campaign rows → WriteJSON → ReadJSON must
+// reproduce the exact table FromResults builds — float64 survives the
+// JSON emitters bit-for-bit.
+func TestJSONRoundTripLossless(t *testing.T) {
+	rs := testResults(t)
+	direct := FromResults(rs)
+
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, loaded) {
+		for i := range direct.Rows {
+			if !reflect.DeepEqual(direct.Rows[i], loaded.Rows[i]) {
+				t.Errorf("row %d differs:\n direct: %+v\n loaded: %+v", i, direct.Rows[i], loaded.Rows[i])
+			}
+		}
+		t.Fatal("JSON round trip not lossless")
+	}
+}
+
+// TestCSVRoundTrip: the CSV emitters format floats with fixed
+// precision, so the round trip is exact on axes and group keys and
+// within formatting precision on metrics.
+func TestCSVRoundTrip(t *testing.T) {
+	rs := testResults(t)
+	direct := FromResults(rs)
+
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Campaign != direct.Campaign || len(loaded.Rows) != len(direct.Rows) {
+		t.Fatalf("loaded %q/%d rows, want %q/%d",
+			loaded.Campaign, len(loaded.Rows), direct.Campaign, len(direct.Rows))
+	}
+	for i := range direct.Rows {
+		if !reflect.DeepEqual(direct.Rows[i].Axes, loaded.Rows[i].Axes) {
+			t.Errorf("row %d axes differ (canonicalization broken): %v vs %v",
+				i, direct.Rows[i].Axes, loaded.Rows[i].Axes)
+		}
+		for m, v := range direct.Rows[i].Metrics {
+			lv, ok := loaded.Rows[i].Metrics[m]
+			if !ok {
+				t.Errorf("row %d: CSV lost metric %q", i, m)
+				continue
+			}
+			if math.Abs(lv-v) > 0.51 { // worst column precision: 1 decimal
+				t.Errorf("row %d %s: %v vs %v", i, m, v, lv)
+			}
+		}
+	}
+}
+
+func TestAggregateStatistics(t *testing.T) {
+	tab := &Table{Campaign: "synthetic"}
+	for i, v := range []float64{1, 2, 3} {
+		tab.Rows = append(tab.Rows, Row{
+			Axes:    map[string]string{"mode": "off", "seed": Num(float64(i + 1))},
+			Metrics: map[string]float64{"aggregate_mbps": v},
+		})
+	}
+	agg, err := tab.Aggregate("mode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Groups) != 1 {
+		t.Fatalf("%d groups", len(agg.Groups))
+	}
+	s, ok := agg.Groups[0].Stat("aggregate_mbps")
+	if !ok {
+		t.Fatal("metric missing")
+	}
+	wantCI := 1.96 * 1 / math.Sqrt(3)
+	if s.Count != 3 || s.Mean != 2 || s.StdDev != 1 || s.Min != 1 || s.Max != 3 ||
+		math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("stat = %+v, want count=3 mean=2 stddev=1 min=1 max=3 ci=%.4f", s, wantCI)
+	}
+
+	if _, err := tab.Aggregate("bogus"); err == nil {
+		t.Error("unknown group-by column did not error")
+	}
+}
+
+// TestAggregateDeterministic: equal inputs must aggregate to deeply
+// equal (and identically serialized) outputs despite map-based
+// internals.
+func TestAggregateDeterministic(t *testing.T) {
+	rs := testResults(t)
+	a1, err := FromResults(rs).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := FromResults(rs).Aggregate("mode", "clients")
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("repeated aggregation differs")
+	}
+	var b1, b2 bytes.Buffer
+	if err := NewBaseline(a1).Write(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewBaseline(a2).Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("baseline serialization not byte-identical")
+	}
+	// Group order: numeric-aware, deterministic.
+	if len(a1.Groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(a1.Groups))
+	}
+	if a1.Groups[0].Key[0] != "more-data" || a1.Groups[0].Key[1] != "1" ||
+		a1.Groups[1].Key[1] != "2" {
+		t.Errorf("group order: %v / %v", a1.Groups[0].Key, a1.Groups[1].Key)
+	}
+	if g := a1.Find("off", "2"); g == nil || g.N != 2 {
+		t.Errorf("Find(off, 2) = %+v, want a 2-seed group", g)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	agg, err := FromResults(testResults(t)).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBaseline(agg)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, loaded) {
+		t.Fatal("baseline JSON round trip differs")
+	}
+
+	if _, err := ReadBaseline(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future baseline version accepted")
+	}
+}
+
+// TestCompareCleanAndRegressed is the subsystem's acceptance story: a
+// run compared against its own baseline is clean; the same run with an
+// injected goodput collapse (and an injected ROHC-failure burst) flags
+// exactly the degraded groups and metrics.
+func TestCompareCleanAndRegressed(t *testing.T) {
+	rs := testResults(t)
+	agg, err := FromResults(rs).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBaseline(agg)
+
+	clean, err := Compare(agg, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.FingerprintMatched {
+		t.Error("self-comparison fingerprint mismatch")
+	}
+	if clean.HasRegressions() {
+		t.Fatalf("self-comparison regressed: %+v", clean.Regressions())
+	}
+	if len(clean.Groups) != 4 {
+		t.Fatalf("%d groups compared, want 4", len(clean.Groups))
+	}
+
+	// Inject: halve goodput in one group, add decompression failures in
+	// another. (A deep copy via serialization keeps the baseline
+	// pristine.)
+	var buf bytes.Buffer
+	if err := NewBaseline(agg).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hurtB, _ := ReadBaseline(&buf)
+	hurt := &Agg{Campaign: agg.Campaign, Fingerprint: agg.Fingerprint,
+		GroupBy: hurtB.GroupBy, Groups: hurtB.Groups}
+	g0 := hurt.Find("more-data", "1")
+	s := g0.Metrics["aggregate_mbps"]
+	s.Mean *= 0.5
+	g0.Metrics["aggregate_mbps"] = s
+	g1 := hurt.Find("off", "2")
+	f := g1.Metrics["decomp_failures"]
+	f.Mean += 10
+	g1.Metrics["decomp_failures"] = f
+
+	cmp, err := Compare(hurt, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("%d regressed groups, want 2: %+v", len(regs), regs)
+	}
+	for _, gr := range regs {
+		for _, d := range gr.Deltas {
+			if !d.Regressed {
+				continue
+			}
+			key := strings.Join(gr.Key, ",")
+			switch {
+			case key == "more-data,1" && d.Metric == "aggregate_mbps":
+			case key == "off,2" && d.Metric == "decomp_failures":
+			default:
+				t.Errorf("unexpected regression %s in group %s", d.Metric, key)
+			}
+		}
+	}
+	var report bytes.Buffer
+	cmp.Report(&report)
+	if !strings.Contains(report.String(), "REGRESSED") ||
+		!strings.Contains(report.String(), "aggregate_mbps") {
+		t.Errorf("report missing regression details:\n%s", report.String())
+	}
+
+	// Improvement must not flag: double goodput everywhere.
+	better := &Agg{Campaign: agg.Campaign, Fingerprint: agg.Fingerprint, GroupBy: agg.GroupBy}
+	for _, g := range agg.Groups {
+		ng := Group{Key: g.Key, N: g.N, Metrics: map[string]Stat{}}
+		for m, st := range g.Metrics {
+			if m == "aggregate_mbps" {
+				st.Mean *= 2
+			}
+			ng.Metrics[m] = st
+		}
+		better.Groups = append(better.Groups, ng)
+	}
+	cmp, err = Compare(better, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HasRegressions() {
+		t.Errorf("improvement flagged as regression: %+v", cmp.Regressions())
+	}
+}
+
+// TestCompareShapeChanges: mismatched grouping is an error; a changed
+// grid surfaces as fingerprint mismatch plus one-sided groups, while
+// matched groups still compare.
+func TestCompareShapeChanges(t *testing.T) {
+	rs := testResults(t)
+	tab := FromResults(rs)
+	agg, _ := tab.Aggregate("mode", "clients")
+	base := NewBaseline(agg)
+
+	byMode, _ := tab.Aggregate("mode")
+	if _, err := Compare(byMode, base, nil); err == nil {
+		t.Error("group-by mismatch did not error")
+	}
+
+	// Drop the 2-client rows: fewer groups, different fingerprint.
+	small := &Table{Campaign: tab.Campaign}
+	for _, r := range tab.Rows {
+		if r.Axes["clients"] == "1" {
+			small.Rows = append(small.Rows, r)
+		}
+	}
+	smallAgg, _ := small.Aggregate("mode", "clients")
+	cmp, err := Compare(smallAgg, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FingerprintMatched {
+		t.Error("shrunken grid matched the baseline fingerprint")
+	}
+	if len(cmp.Groups) != 2 || len(cmp.BaselineOnly) != 2 {
+		t.Errorf("matched %d groups / %d baseline-only, want 2/2", len(cmp.Groups), len(cmp.BaselineOnly))
+	}
+	if cmp.HasRegressions() {
+		t.Errorf("identical matched groups regressed: %+v", cmp.Regressions())
+	}
+	// Losing baseline groups is not a metric regression but must fail
+	// the gate verdict — coverage silently disappeared.
+	if cmp.Clean() {
+		t.Error("Clean() passed despite lost baseline groups")
+	}
+}
+
+// TestCompareLoadedFromEmitters closes the loop the doc promises:
+// aggregation over a table re-loaded from the CSV emitter compares
+// clean against a baseline built from the in-memory rows (the CSV
+// precision loss stays inside the default tolerances).
+func TestCompareLoadedFromEmitters(t *testing.T) {
+	rs := testResults(t)
+	agg, _ := FromResults(rs).Aggregate("mode", "clients")
+	base := NewBaseline(agg)
+
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedAgg, err := loaded.Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedAgg.Fingerprint != agg.Fingerprint {
+		t.Error("CSV round trip changed the sweep fingerprint")
+	}
+	cmp, err := Compare(loadedAgg, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HasRegressions() {
+		t.Errorf("CSV-loaded comparison regressed: %+v", cmp.Regressions())
+	}
+}

@@ -178,7 +178,13 @@ func WithConfig(fn func(*node.Config)) Option {
 type Entry struct {
 	Name string
 	Desc string
-	opts []Option
+	// Workload names the entry's traffic pattern in
+	// campaign.NamedWorkload's vocabulary ("download", "upload",
+	// "mixed"); empty means the default download workload. The
+	// scenario config itself only shapes the network — the workload
+	// kind rides along so CLIs start the right flows.
+	Workload string
+	opts     []Option
 }
 
 // Config builds the entry's configuration, applying extra options on
@@ -198,6 +204,23 @@ func Register(name, desc string, opts ...Option) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	registry[name] = Entry{Name: name, Desc: desc, opts: opts}
+}
+
+// RegisterWorkload names a scenario whose traffic pattern differs from
+// the default download workload — workload is "upload" or "mixed" (see
+// Entry.Workload). Registering an existing name replaces it.
+func RegisterWorkload(name, desc, workload string, opts ...Option) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = Entry{Name: name, Desc: desc, Workload: workload, opts: opts}
+}
+
+// WorkloadOf returns the named scenario's workload kind ("" for the
+// default download workload or an unknown name).
+func WorkloadOf(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].Workload
 }
 
 // Lookup returns the named scenario entry.
@@ -258,6 +281,16 @@ func init() {
 			)
 		}
 	}
+	// Traffic-direction variants of the 802.11n scenario: the paper's
+	// motivating upload case (wireless backup to LAN storage, §3.1)
+	// and a mixed up/down workload. Mode stays stock so -sweep-modes
+	// and WithMode choose the protocol.
+	RegisterWorkload("ht150-upload",
+		"150 Mbps 802.11n, clients uploading to the wired server (wireless backup, §3.1)",
+		"upload", With80211n())
+	RegisterWorkload("ht150-mixed",
+		"150 Mbps 802.11n, mixed workload: clients alternate download/upload",
+		"mixed", With80211n())
 	// Rate-adaptive variants of the 802.11n scenarios: the same preset
 	// with a per-station adapter instead of the pinned 150 Mbps rate.
 	for _, m := range []struct {

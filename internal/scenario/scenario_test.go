@@ -177,3 +177,34 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("custom entry config: %+v", cfg)
 	}
 }
+
+// TestWorkloadEntries: the upload and mixed 802.11n scenarios must be
+// registered with their workload kinds, and WorkloadOf must expose
+// them (empty for download scenarios and unknown names).
+func TestWorkloadEntries(t *testing.T) {
+	for name, want := range map[string]string{
+		"ht150-upload": "upload",
+		"ht150-mixed":  "mixed",
+	} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if e.Workload != want {
+			t.Errorf("%s workload = %q, want %q", name, e.Workload, want)
+		}
+		if got := WorkloadOf(name); got != want {
+			t.Errorf("WorkloadOf(%s) = %q, want %q", name, got, want)
+		}
+		cfg := e.Config()
+		if !cfg.Aggregation || cfg.Mode != hack.ModeOff {
+			t.Errorf("%s config: want stock-mode 802.11n preset, got %+v", name, cfg)
+		}
+	}
+	if got := WorkloadOf("ht150-moredata"); got != "" {
+		t.Errorf("WorkloadOf(ht150-moredata) = %q, want empty", got)
+	}
+	if got := WorkloadOf("no-such-scenario"); got != "" {
+		t.Errorf("WorkloadOf(unknown) = %q, want empty", got)
+	}
+}

@@ -20,7 +20,9 @@
 // RunCampaign executes the grid on a bounded worker pool, one
 // deterministic simulation per point, returning structured result rows
 // (goodput, airtime, retries) with JSON/CSV emitters. Parallel and
-// serial runs produce row-for-row identical results:
+// serial runs produce row-for-row identical results;
+// RunCampaignContext adds cancellation and a progress callback for
+// large grids:
 //
 //	results := tcphack.RunCampaign(tcphack.Campaign{
 //		Name: "modes-vs-clients",
@@ -32,6 +34,19 @@
 //		},
 //	})
 //	results.WriteCSV(os.Stdout)
+//
+// Results layer. On top of the raw rows sits internal/results, the
+// statistical subsystem the paper's evaluation methodology demands:
+// group-by aggregation (count/mean/stddev/min/max/95% CI per metric),
+// persisted baselines, and regression detection:
+//
+//	table := tcphack.NewResultsTable(results)
+//	agg, _ := table.Aggregate("mode", "clients")
+//	_ = tcphack.SaveBaselineFile("baseline.json", tcphack.NewBaseline(agg))
+//	// ... later, after a fresh run of the same sweep:
+//	base, _ := tcphack.LoadBaselineFile("baseline.json")
+//	cmp, _ := tcphack.CompareBaseline(agg, base, nil)
+//	cmp.Report(os.Stdout) // cmp.HasRegressions() gates CI
 //
 // Underneath sit the subsystems the options parameterize:
 //
@@ -60,6 +75,8 @@
 package tcphack
 
 import (
+	"context"
+
 	"tcphack/internal/analytical"
 	"tcphack/internal/campaign"
 	"tcphack/internal/channel"
@@ -68,6 +85,7 @@ import (
 	"tcphack/internal/mac"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
+	"tcphack/internal/results"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
 )
@@ -168,6 +186,17 @@ func RegisterScenario(name, desc string, opts ...ScenarioOption) {
 	scenario.Register(name, desc, opts...)
 }
 
+// ScenarioWorkload returns the named scenario's traffic-workload kind
+// ("upload", "mixed"; "" for the default download workload or an
+// unknown name) — feed it to NamedCampaignWorkload to start the right
+// flows.
+func ScenarioWorkload(name string) string { return scenario.WorkloadOf(name) }
+
+// RateStats is one rate's learned state in a Minstrel adapter
+// (see Network.APMinstrelStats / Network.ClientMinstrelStats and
+// hacksim's -rate-stats flag).
+type RateStats = mac.RateStats
+
 // Campaign runner.
 type (
 	// Campaign declares a sweep: a base scenario × axes, executed in
@@ -188,9 +217,67 @@ type (
 // point in deterministic order, independent of worker count.
 func RunCampaign(c Campaign) CampaignResults { return campaign.Run(c) }
 
+// RunCampaignContext is RunCampaign with cancellation: when ctx is
+// cancelled no new grid points start, in-flight simulations finish,
+// and the call returns the partial results along with ctx's error.
+// The Campaign's Progress callback fires monotonically throughout.
+func RunCampaignContext(ctx context.Context, c Campaign) (CampaignResults, error) {
+	return campaign.RunContext(ctx, c)
+}
+
 // CampaignSeeds returns n consecutive seeds starting at base — the
 // "average over seeded repetitions" axis.
 func CampaignSeeds(base int64, n int) []int64 { return campaign.Seeds(base, n) }
+
+// NamedCampaignWorkload returns the standard traffic pattern for a
+// workload kind ("download", "upload", "mixed") — the vocabulary
+// scenario registry entries use (see ScenarioWorkload).
+func NamedCampaignWorkload(kind string) (func(n *Network, pt CampaignPoint), error) {
+	return campaign.NamedWorkload(kind)
+}
+
+// Results subsystem: aggregation, baselines, regression detection.
+type (
+	// ResultsTable is a typed results table built from campaign rows
+	// (or re-loaded from the CSV/JSON emitters' output), ready for
+	// group-by aggregation.
+	ResultsTable = results.Table
+	// ResultsAgg is a grouped aggregation of a ResultsTable.
+	ResultsAgg = results.Agg
+	// ResultsGroup is one aggregation cell (a group key and a
+	// statistical summary per metric).
+	ResultsGroup = results.Group
+	// ResultsStat summarizes one metric within one group.
+	ResultsStat = results.Stat
+	// Baseline is a persisted aggregation used as a regression
+	// reference.
+	Baseline = results.Baseline
+	// Tolerance bounds one metric's allowed movement in its worse
+	// direction before CompareBaseline flags a regression.
+	Tolerance = results.Tolerance
+	// Comparison is the outcome of CompareBaseline.
+	Comparison = results.Comparison
+)
+
+// NewResultsTable builds a ResultsTable from campaign rows.
+func NewResultsTable(rs CampaignResults) *ResultsTable { return results.FromResults(rs) }
+
+// Results-layer helpers, re-exported for CLIs and scripts: CSV/JSON
+// table loaders, the canonical numeric axis-value formatter, the
+// metric/axis schema, baseline persistence, the default per-metric
+// tolerances, and the comparison engine.
+var (
+	ReadResultsCSV       = results.ReadCSV
+	ReadResultsJSON      = results.ReadJSON
+	ResultsNum           = results.Num
+	ResultsAxisColumns   = results.AxisColumns
+	ResultsScalarMetrics = results.ScalarMetrics
+	NewBaseline          = results.NewBaseline
+	SaveBaselineFile     = results.SaveBaselineFile
+	LoadBaselineFile     = results.LoadBaselineFile
+	DefaultTolerances    = results.DefaultTolerances
+	CompareBaseline      = results.Compare
+)
 
 // HACK modes.
 const (
@@ -230,6 +317,17 @@ var Rate54Mbps = phy.RateA54
 // stream count (1–4) at 40 MHz / 400 ns GI; HTRate(7, 1) is the
 // paper's 150 Mbps configuration.
 func HTRate(mcs, streams int) Rate { return phy.HTRate(mcs, streams) }
+
+// ParseNamedRate resolves a PHY rate by its command-line name ("a6"
+// through "a54", "mcs0" through "mcs7", "mcs<i>x<streams>").
+func ParseNamedRate(s string) (Rate, error) { return phy.ParseRate(s) }
+
+// Regression directions for Tolerance.Worse: goodput-like metrics
+// regress downward, error counters upward.
+const (
+	LowerIsWorse  = results.LowerIsWorse
+	HigherIsWorse = results.HigherIsWorse
+)
 
 // Scenario80211n builds the paper's §4.3 simulation scenario — a thin
 // wrapper over NewScenario(With80211n(), ...).
