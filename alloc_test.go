@@ -1,0 +1,52 @@
+// Allocation-budget guards for the simulator's steady-state hot path.
+// The PR 4 optimization pass (pooled timers, persistent Post
+// callbacks, alloc-free header marshalling) brought the full 802.11n
+// HACK scenario below two heap allocations per scheduler event;
+// these tests keep it there. A regression to per-event timer or
+// closure allocation adds ≈2 allocs/event and fails the budget.
+package tcphack
+
+import (
+	"runtime"
+	"testing"
+
+	"tcphack/internal/node"
+	"tcphack/internal/sim"
+)
+
+// steadyStateAllocBudget is the allowed mallocs per executed scheduler
+// event once the simulation is warm (measured ≈1.9 after PR 4, ≈5 to 6
+// before it).
+const steadyStateAllocBudget = 2.5
+
+// TestSteadyStateAllocBudget runs the aggregated 802.11n HACK scenario
+// to steady state and asserts the allocation rate per simulated event
+// stays under the budget. Mallocs is a monotone total (GC does not
+// reset it), and the simulation is single-goroutine, so the window
+// delta is exact up to the test runtime's own background noise —
+// which the wide event window drowns out.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	cfg := Scenario80211n(ModeMoreData, 2)
+	n := node.New(cfg)
+	for ci := 0; ci < 2; ci++ {
+		n.StartDownload(ci, 0, 0)
+	}
+	n.Run(2 * sim.Second) // warm: handshakes, buffer growth, pool fill
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ev0 := n.Sched.EventsFired()
+	n.Run(5 * sim.Second)
+	runtime.ReadMemStats(&after)
+	events := n.Sched.EventsFired() - ev0
+	if events == 0 {
+		t.Fatal("no events in the measurement window")
+	}
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(events)
+	t.Logf("steady state: %.3f allocs/event (%d mallocs over %d events)",
+		perEvent, after.Mallocs-before.Mallocs, events)
+	if perEvent > steadyStateAllocBudget {
+		t.Errorf("steady-state allocation rate %.3f allocs/event exceeds budget %v",
+			perEvent, steadyStateAllocBudget)
+	}
+}

@@ -1,0 +1,100 @@
+// Command bench2json converts `go test -bench` text output (read from
+// stdin) into deterministic JSON on stdout, so benchmark results can
+// be archived as CI artifacts and committed as points of the repo's
+// performance trajectory (BENCH_<pr>.json files).
+//
+//	go test -run '^$' -bench BenchmarkCampaignRun -benchtime 1x -benchmem . \
+//	    | go run ./cmd/bench2json > bench.json
+//
+// Every benchmark line becomes one entry carrying the iteration count
+// and all reported metrics — the standard ns/op, B/op, allocs/op plus
+// any custom b.ReportMetric units (points/s, row0_mbps, ...). Context
+// lines (goos/goarch/pkg/cpu) are captured verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted output.
+type Report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch k {
+			case "goos", "goarch", "pkg", "cpu":
+				rep.Context[k] = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: skipping %q: %v\n", line, err)
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine splits "BenchmarkX-8  3  42 ns/op  1.5 points/s ..." into
+// name, iteration count, and (value, unit) metric pairs.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("want at least name, count, and one metric pair")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd metric field count")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value %q", rest[i])
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

@@ -20,6 +20,11 @@
 //	    -sweep-clients 1,2,4,10 -sweep-adapters fixed,ideal,minstrel \
 //	    -runs 3 -format csv
 //
+//	# profile the hot path (reproduces the PR 4 optimization workflow):
+//	hackbench -sweep ht150-stock -sweep-modes off,more-data -runs 2 \
+//	    -workers 1 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+//
 //	# persist a sweep's aggregated statistics, then detect regressions:
 //	hackbench -sweep sora-stock -sweep-modes off,more-data -runs 3 \
 //	    -save-baseline baseline.json
@@ -36,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,7 +73,52 @@ func main() {
 	groupBy := flag.String("groupby", "", "comma-separated axis columns to group the aggregation by (default: swept axes minus seed; with -baseline: the baseline's grouping)")
 	tolFlag := flag.String("tol", "", "per-metric relative-tolerance overrides for -baseline, e.g. aggregate_mbps=0.10,retries=0.25")
 	progress := flag.Bool("progress", false, "report sweep progress (rows completed / total) on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	// Flag values consumed deep inside the run are validated before
+	// profiling starts, so no later path needs to bail out past the
+	// profile flushing.
+	switch *fig11Method {
+	case "ideal", "minstrel", "envelope":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig11-method %q (want ideal, minstrel, or envelope)\n", *fig11Method)
+		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	// os.Exit bypasses defers, so every exit path funnels through here
+	// to flush the profiles.
+	exit := func(code int) {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			runtime.GC() // report live + cumulative allocation accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f.Close()
+		}
+		os.Exit(code)
+	}
 
 	o := tcphack.ExperimentOptions{
 		Warmup:  tcphack.Duration(*warmup),
@@ -89,9 +141,9 @@ func main() {
 		code, err := runSweep(sw, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
-		os.Exit(code)
+		exit(code)
 	}
 
 	all := *fig == "" && *table == 0 && !*xval
@@ -118,8 +170,9 @@ func main() {
 
 	if !did {
 		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }
 
 // sweepConfig carries the -sweep flag set.

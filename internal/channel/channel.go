@@ -139,11 +139,12 @@ func forkModel(model ErrorModel, fork func() *rand.Rand) (ErrorModel, bool) {
 // Medium is the broadcast channel. It is driven entirely by the
 // simulation scheduler and is not safe for concurrent use.
 type Medium struct {
-	sched  *sim.Scheduler
-	model  ErrorModel
-	rng    *rand.Rand
-	radios []Radio
-	active map[*Transmission]struct{}
+	sched    *sim.Scheduler
+	model    ErrorModel
+	rng      *rand.Rand
+	radios   []Radio
+	active   map[*Transmission]struct{}
+	finishFn func(any) // persistent Post callback for transmission ends
 
 	// Stats.
 	TxCount        uint64
@@ -169,6 +170,7 @@ func New(sched *sim.Scheduler, model ErrorModel) *Medium {
 		rng:    sched.ForkRand(),
 		active: make(map[*Transmission]struct{}),
 	}
+	m.finishFn = func(a any) { m.finish(a.(*Transmission)) }
 	if forked, ok := forkModel(model, sched.ForkRand); ok {
 		model = forked
 	}
@@ -219,7 +221,7 @@ func (m *Medium) Transmit(src Radio, rate phy.Rate, length int, frame any) *Tran
 		}
 	}
 	m.active[tx] = struct{}{}
-	m.sched.At(tx.End, func() { m.finish(tx) })
+	m.sched.Post(tx.End, m.finishFn, tx)
 	return tx
 }
 

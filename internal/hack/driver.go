@@ -245,7 +245,7 @@ func (d *Driver) hold(ps *peerState, dst mac.Addr, p *packet.Packet, expires sim
 	}
 	tuple, _ := p.Tuple()
 	ps.pending = append(ps.pending, heldAck{
-		pkt: p, dst: dst, data: data, msn: msn, cid: rohc.CID(tuple),
+		pkt: p, dst: dst, data: data, msn: msn, cid: d.comp.CID(tuple),
 		readyAt: d.sched.Now() + d.cfg.DriverLatency,
 		expires: expires,
 	})
@@ -301,15 +301,19 @@ func (d *Driver) sendNative(dst mac.Addr, p *packet.Packet) {
 }
 
 // armHoldTimer schedules the ModeTimer flush for the earliest expiry.
+// The per-peer timer is persistent: allocated (with its callback) on
+// first use and Reset thereafter.
 func (d *Driver) armHoldTimer(dst mac.Addr, ps *peerState) {
-	if ps.holdTimer != nil && !ps.holdTimer.Cancelled() {
+	if ps.holdTimer != nil && ps.holdTimer.Pending() {
 		return
 	}
 	if len(ps.pending) == 0 {
 		return
 	}
-	at := ps.pending[0].expires
-	ps.holdTimer = d.sched.At(at, func() { d.flushExpired(dst, ps) })
+	if ps.holdTimer == nil {
+		ps.holdTimer = sim.NewTimer(func() { d.flushExpired(dst, ps) })
+	}
+	d.sched.Reset(ps.holdTimer, ps.pending[0].expires)
 }
 
 // flushExpired sends timed-out held ACKs natively (ModeTimer).
@@ -324,7 +328,6 @@ func (d *Driver) flushExpired(dst mac.Addr, ps *peerState) {
 		}
 	}
 	ps.pending = kept
-	ps.holdTimer = nil
 	d.armHoldTimer(dst, ps)
 }
 
@@ -390,14 +393,14 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 	// 8-bit anchor form (paper §3.4) — done here, at frame-assembly
 	// time, because which ACK leads the frame is only known now.
 	var payload []byte
-	anchored := make(map[byte]bool)
+	var anchored [256 / 8]byte // per-CID bitmap; frames carry few flows
 	emit := func(h *heldAck) {
-		data := h.data
-		if !anchored[h.cid] {
-			anchored[h.cid] = true
-			data = rohc.Anchor(data, h.msn)
+		if bit := &anchored[h.cid/8]; *bit&(1<<(h.cid%8)) == 0 {
+			*bit |= 1 << (h.cid % 8)
+			payload = rohc.AppendAnchor(payload, h.data, h.msn)
+			return
 		}
-		payload = append(payload, data...)
+		payload = append(payload, h.data...)
 	}
 	for i := range ps.unconfirmed {
 		emit(&ps.unconfirmed[i])

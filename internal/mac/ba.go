@@ -23,11 +23,13 @@ type baRecipient struct {
 	started    bool
 	winStart   uint16
 	buf        map[uint16]*MSDU // received, undelivered, seq ≥ winStart
-	flushTimer *sim.Timer
+	flushTimer *sim.Timer       // persistent inactivity timer
 }
 
 func newBARecipient(st *Station, peer Addr) *baRecipient {
-	return &baRecipient{st: st, peer: peer, buf: make(map[uint16]*MSDU)}
+	r := &baRecipient{st: st, peer: peer, buf: make(map[uint16]*MSDU)}
+	r.flushTimer = sim.NewTimer(r.flush)
+	return r
 }
 
 // receive processes one decoded MPDU. It returns false for duplicates.
@@ -104,11 +106,10 @@ func (r *baRecipient) bitmap() (start uint16, bits uint64) {
 // at the originator's retry limit.
 func (r *baRecipient) armFlush() {
 	r.st.sched.Cancel(r.flushTimer)
-	r.flushTimer = nil
 	if len(r.buf) == 0 {
 		return
 	}
-	r.flushTimer = r.st.sched.After(reorderTimeout, r.flush)
+	r.st.sched.Reset(r.flushTimer, r.st.sched.Now()+reorderTimeout)
 }
 
 // flush abandons all holes: delivers every buffered MSDU in sequence

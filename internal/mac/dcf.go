@@ -27,15 +27,17 @@ type dcf struct {
 	navUntil   sim.Time
 	eifs       bool // next deferral uses EIFS (post-error)
 
-	idleAt   sim.Time // when the medium (phys+NAV) last went idle
-	armedAt  sim.Time // when the pending request started waiting
-	timer    *sim.Timer
-	navTimer *sim.Timer
+	idleAt   sim.Time   // when the medium (phys+NAV) last went idle
+	armedAt  sim.Time   // when the pending request started waiting
+	timer    *sim.Timer // persistent fire() timer
+	navTimer *sim.Timer // persistent NAV-lapse re-evaluation timer
 }
 
 func (d *dcf) init(st *Station) {
 	d.st = st
 	d.cw = st.cfg.CWMin
+	d.timer = sim.NewTimer(d.fire)
+	d.navTimer = sim.NewTimer(d.recomputeIdle)
 }
 
 // ifs returns the arbitration IFS currently in force.
@@ -80,8 +82,7 @@ func (d *dcf) setNAV(t sim.Time) {
 		d.freeze()
 	}
 	// Re-evaluate when the reservation lapses.
-	d.st.sched.Cancel(d.navTimer)
-	d.navTimer = d.st.sched.At(t, d.recomputeIdle)
+	d.st.sched.Reset(d.navTimer, t)
 }
 
 // noteRxError switches the next deferral to EIFS (802.11: a station
@@ -112,7 +113,7 @@ func (d *dcf) recomputeIdle() {
 // transmit in this slot, which is precisely how two stations that
 // draw the same backoff collide.
 func (d *dcf) freeze() {
-	if d.timer == nil || d.timer.Cancelled() {
+	if !d.timer.Pending() {
 		return
 	}
 	if d.timer.At() <= d.st.sched.Now() {
@@ -167,7 +168,7 @@ func (d *dcf) arm() {
 	if !d.wantTx || d.busy() || !d.st.canTransmit() {
 		return
 	}
-	if d.timer != nil && !d.timer.Cancelled() {
+	if d.timer.Pending() {
 		return
 	}
 	at := d.idleAt + d.ifs() + sim.Duration(d.slots)*phy.SlotTime
@@ -175,7 +176,7 @@ func (d *dcf) arm() {
 	if at < now {
 		at = now
 	}
-	d.timer = d.st.sched.At(at, d.fire)
+	d.st.sched.Reset(d.timer, at)
 }
 
 func (d *dcf) fire() {

@@ -110,13 +110,14 @@ func (q *destQueue) hasWork() bool {
 	return q.awaitingBAR || len(q.retryQ) > 0 || len(q.fifo) > 0
 }
 
-// exchange is one in-flight frame exchange awaiting its response.
+// exchange is one in-flight frame exchange awaiting its response. The
+// response deadline lives in the station's persistent respTimeout
+// timer (only one exchange is ever outstanding).
 type exchange struct {
 	q         *destQueue
 	frame     *DataFrame // nil for BAR exchanges
 	bar       *BARFrame  // nil for data exchanges
 	txEnd     sim.Time
-	timeout   *sim.Timer
 	allTCPAck bool
 }
 
@@ -134,8 +135,14 @@ type Station struct {
 	rrNext int
 
 	waiting     *exchange
+	respTimeout *sim.Timer // persistent (Block) ACK deadline for waiting
 	respPending bool
-	respTimer   *sim.Timer
+	respTimer   *sim.Timer // persistent SIFS-turnaround timer
+	respDone    func(any)  // clears respPending at response tx end
+	// Pending response parameters (the respTimer callback's state).
+	respPeer       Addr
+	respBlock      bool
+	respElicitRate phy.Rate
 
 	rxLastSeq map[Addr]int32
 	rxBA      map[Addr]*baRecipient
@@ -169,6 +176,17 @@ func NewStation(sched *sim.Scheduler, medium *channel.Medium, cfg Config) *Stati
 		rxBA:      make(map[Addr]*baRecipient),
 		Hooks:     NopHooks{},
 		Deliver:   func(*MSDU) {},
+	}
+	st.respTimeout = sim.NewTimer(st.onRespTimeout)
+	st.respTimer = sim.NewTimer(func() {
+		st.sendResponse(st.respPeer, st.respBlock, st.respElicitRate)
+	})
+	st.respDone = func(any) {
+		st.respPending = false
+		// The carrier-idle edge for this transmission fires earlier in
+		// the same instant (the medium delivers it before this event),
+		// while respPending still blocked us — re-evaluate now.
+		st.dcf.recomputeIdle()
 	}
 	st.dcf.init(st)
 	medium.Attach(st)
@@ -352,7 +370,7 @@ func (st *Station) sendData(q *destQueue, waited sim.Duration) {
 
 	ex := &exchange{q: q, frame: frame, txEnd: tx.End, allTCPAck: allAck}
 	st.waiting = ex
-	ex.timeout = st.sched.At(st.respDeadline(tx.End, frame.Aggregated, rate), st.onRespTimeout)
+	st.sched.Reset(st.respTimeout, st.respDeadline(tx.End, frame.Aggregated, rate))
 }
 
 // respDeadline computes when to give up on the response to a frame
@@ -442,7 +460,7 @@ func (st *Station) sendBAR(q *destQueue, waited sim.Duration) {
 	st.Stats.BARsSent++
 	ex := &exchange{q: q, bar: bar, txEnd: tx.End}
 	st.waiting = ex
-	ex.timeout = st.sched.At(st.respDeadline(tx.End, true, dataRate), st.onRespTimeout)
+	st.sched.Reset(st.respTimeout, st.respDeadline(tx.End, true, dataRate))
 	_ = waited
 }
 
@@ -550,8 +568,8 @@ func (st *Station) scheduleResponse(peer Addr, block bool, elicitRate phy.Rate) 
 		st.sched.Cancel(st.respTimer)
 	}
 	st.respPending = true
-	at := phy.SIFS + st.cfg.AckTurnaround
-	st.respTimer = st.sched.After(at, func() { st.sendResponse(peer, block, elicitRate) })
+	st.respPeer, st.respBlock, st.respElicitRate = peer, block, elicitRate
+	st.sched.Reset(st.respTimer, st.sched.Now()+phy.SIFS+st.cfg.AckTurnaround)
 }
 
 func (st *Station) sendResponse(peer Addr, block bool, elicitRate phy.Rate) {
@@ -576,13 +594,7 @@ func (st *Station) sendResponse(peer Addr, block bool, elicitRate phy.Rate) {
 		}
 		st.TCPAckTime.ROHCAir += tx.Duration() - phy.FrameDuration(rate, base)
 	}
-	st.sched.At(tx.End, func() {
-		st.respPending = false
-		// The carrier-idle edge for this transmission fires earlier in
-		// the same instant (the medium delivers it before this event),
-		// while respPending still blocked us — re-evaluate now.
-		st.dcf.recomputeIdle()
-	})
+	st.sched.Post(tx.End, st.respDone, nil)
 }
 
 func (st *Station) rxAck(f *AckFrame, tx *channel.Transmission) {
@@ -603,7 +615,7 @@ func (st *Station) rxAck(f *AckFrame, tx *channel.Transmission) {
 	if ex == nil || ex.q.dst != f.From {
 		return // stale or unexpected response (e.g. after our timeout)
 	}
-	st.sched.Cancel(ex.timeout)
+	st.sched.Cancel(st.respTimeout)
 	st.waiting = nil
 	if ex.allTCPAck {
 		st.TCPAckTime.LLAckOverhead += st.sched.Now() - ex.txEnd

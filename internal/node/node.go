@@ -143,13 +143,16 @@ type Link struct {
 	rateKbps  int
 	delay     sim.Duration
 	busyUntil sim.Time
+	deliver   func(any) // persistent Post callback wrapping Deliver
 	// Deliver receives packets at the far end.
 	Deliver func(*packet.Packet)
 }
 
 // NewLink creates a link; rateKbps 0 means infinite rate.
 func NewLink(sched *sim.Scheduler, rateKbps int, delay sim.Duration) *Link {
-	return &Link{sched: sched, rateKbps: rateKbps, delay: delay}
+	l := &Link{sched: sched, rateKbps: rateKbps, delay: delay}
+	l.deliver = func(a any) { l.Deliver(a.(*packet.Packet)) }
+	return l
 }
 
 // Send serializes p onto the link.
@@ -164,7 +167,7 @@ func (l *Link) Send(p *packet.Packet) {
 		txTime = sim.Duration(int64(p.Len()) * 8 * int64(sim.Second) / (int64(l.rateKbps) * 1000))
 	}
 	l.busyUntil = start + txTime
-	l.sched.At(l.busyUntil+l.delay, func() { l.Deliver(p) })
+	l.sched.Post(l.busyUntil+l.delay, l.deliver, p)
 }
 
 // WifiNode is a WiFi station with a host stack and HACK driver.
@@ -174,6 +177,11 @@ type WifiNode struct {
 	Driver  *hack.Driver
 	IP      packet.Addr
 	MACAddr mac.Addr
+
+	// Persistent Post callbacks for the per-packet host-delay events
+	// (one closure per node instead of one per packet).
+	localIn func(any)
+	routeFn func(any)
 
 	endpoints map[packet.FiveTuple]*tcp.Endpoint
 	// Goodput measures application bytes received at this node
@@ -300,6 +308,8 @@ func (n *Network) newNode(st *mac.Station, ip packet.Addr, addr mac.Addr) *WifiN
 		net: n, MAC: st, IP: ip, MACAddr: addr,
 		endpoints: make(map[packet.FiveTuple]*tcp.Endpoint),
 	}
+	w.localIn = func(a any) { w.localInput(a.(*packet.Packet)) }
+	w.routeFn = func(a any) { w.route(a.(*packet.Packet)) }
 	d := hack.NewDriver(n.Sched, hack.Config{
 		Mode:          n.Cfg.Mode,
 		DriverLatency: n.Cfg.DriverLatency,
@@ -314,7 +324,7 @@ func (n *Network) newNode(st *mac.Station, ip packet.Addr, addr mac.Addr) *WifiN
 	d.ForwardUp = func(from mac.Addr, p *packet.Packet) {
 		// Reconstituted TCP ACKs surface at the driver; forward after
 		// the driver's processing latency.
-		n.Sched.After(n.Cfg.ForwardDelay, func() { w.route(p) })
+		n.Sched.PostAfter(n.Cfg.ForwardDelay, w.routeFn, p)
 	}
 	d.WithdrawNative = func(dst mac.Addr, p *packet.Packet) bool {
 		if st.RemoveQueued(dst, func(m *mac.MSDU) bool { return m.Packet == p }) {
@@ -345,11 +355,11 @@ func (w *WifiNode) fromWifi(m *mac.MSDU) {
 	}
 	if p.IP.Dst == w.IP {
 		// Local delivery through the host stack.
-		w.net.Sched.After(w.net.Cfg.StackDelay, func() { w.localInput(p) })
+		w.net.Sched.PostAfter(w.net.Cfg.StackDelay, w.localIn, p)
 		return
 	}
 	// Forwarding (AP role).
-	w.net.Sched.After(w.net.Cfg.ForwardDelay, func() { w.route(p) })
+	w.net.Sched.PostAfter(w.net.Cfg.ForwardDelay, w.routeFn, p)
 }
 
 // localInput demultiplexes a packet to this node's stack.
@@ -531,8 +541,8 @@ func (n *Network) StartUDPDownload(ci int, rateKbps int, pktLen int, startAt sim
 	}
 	interval := sim.Duration(int64(pktLen) * 8 * int64(sim.Second) / (int64(rateKbps) * 1000))
 	var ipID uint16
-	var tick func()
-	tick = func() {
+	var tick func(any)
+	tick = func(any) {
 		ipID++
 		p := &packet.Packet{
 			IP:         packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, ID: ipID, Src: srcIP, Dst: dst},
@@ -544,9 +554,9 @@ func (n *Network) StartUDPDownload(ci int, rateKbps int, pktLen int, startAt sim
 		} else {
 			n.AP.route(p)
 		}
-		n.Sched.After(interval, tick)
+		n.Sched.PostAfter(interval, tick, nil)
 	}
-	n.Sched.At(sim.Time(startAt), tick)
+	n.Sched.Post(sim.Time(startAt), tick, nil)
 }
 
 // Run advances the simulation to the given time.

@@ -6,6 +6,11 @@
 // (internal/rohc) operates on these exact bytes, so compressed-ACK
 // sizes measured in experiments reflect genuine header redundancy, not
 // a toy encoding.
+//
+// Hot paths that marshal per packet use MarshalAppend with a retained
+// scratch buffer instead of Marshal; the two produce identical bytes,
+// but the append form is allocation-free once its buffer has grown to
+// the working size.
 package packet
 
 import (
@@ -298,6 +303,43 @@ func parseTCPOptions(b []byte) (TCPOptions, error) {
 // sizes exact.
 func (p *Packet) Marshal() []byte {
 	b := make([]byte, p.Len())
+	p.marshalInto(b)
+	return b
+}
+
+// MarshalAppend appends the packet's wire image to buf and returns the
+// extended slice, allocating only when buf lacks capacity. Hot paths
+// that marshal per packet (the ROHC header CRC) call it with a
+// per-owner scratch buffer re-sliced to zero length, making the
+// steady-state encode allocation-free:
+//
+//	c.scratch = p.MarshalAppend(c.scratch[:0])
+//
+// The appended bytes are identical to Marshal's output.
+func (p *Packet) MarshalAppend(buf []byte) []byte {
+	n := p.Len()
+	off := len(buf)
+	if cap(buf)-off < n {
+		grown := make([]byte, off+n, 2*(off+n))
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:off+n]
+	}
+	seg := buf[off:]
+	// Scratch reuse can hand back stale bytes; the encoders below skip
+	// reserved fields and the zero payload, so clear first (compiles to
+	// one memclr).
+	for i := range seg {
+		seg[i] = 0
+	}
+	p.marshalInto(seg)
+	return buf
+}
+
+// marshalInto encodes the packet into b, which must be exactly Len()
+// zeroed bytes.
+func (p *Packet) marshalInto(b []byte) {
 	ip := &p.IP
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = ip.TOS
@@ -335,7 +377,6 @@ func (p *Packet) Marshal() []byte {
 		binary.BigEndian.PutUint16(seg[6:], 0)
 		binary.BigEndian.PutUint16(seg[6:], pseudoChecksum(ip, ProtoUDP, seg))
 	}
-	return b
 }
 
 // Unmarshal parses a wire-format IP datagram produced by Marshal (or

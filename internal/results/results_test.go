@@ -140,7 +140,9 @@ func TestAggregateStatistics(t *testing.T) {
 	if !ok {
 		t.Fatal("metric missing")
 	}
-	wantCI := 1.96 * 1 / math.Sqrt(3)
+	// Student-t interval: n=3 → df=2 → t=4.303 (not the normal 1.96,
+	// which is far too tight at campaign-sized seed counts).
+	wantCI := 4.303 * 1 / math.Sqrt(3)
 	if s.Count != 3 || s.Mean != 2 || s.StdDev != 1 || s.Min != 1 || s.Max != 3 ||
 		math.Abs(s.CI95-wantCI) > 1e-12 {
 		t.Errorf("stat = %+v, want count=3 mean=2 stddev=1 min=1 max=3 ci=%.4f", s, wantCI)

@@ -34,6 +34,10 @@ import (
 // CID computes the context identifier for a flow: the lowest byte of
 // the MD5 hash over the five-tuple (paper §3.3.2). Both ends compute
 // it independently; no negotiation messages are exchanged.
+//
+// The hash is a per-flow constant, so per-packet paths never call this
+// directly: Compressor and Decompressor memoize it per five-tuple (see
+// cidCache), computing the MD5 once per flow instead of per packet.
 func CID(t packet.FiveTuple) byte {
 	var b [13]byte
 	copy(b[0:4], t.Src[:])
@@ -45,10 +49,54 @@ func CID(t packet.FiveTuple) byte {
 	return sum[len(sum)-1]
 }
 
+// cidCache memoizes CID per five-tuple. A flow's CID never changes, so
+// one MD5 per flow suffices; lookups are a single map probe and
+// allocation-free.
+type cidCache map[packet.FiveTuple]byte
+
+func (c cidCache) cid(t packet.FiveTuple) byte {
+	if id, ok := c[t]; ok {
+		return id
+	}
+	id := CID(t)
+	c[t] = id
+	return id
+}
+
+// crc8Table is the 256-entry lookup table for the ROHC CRC-8
+// polynomial, generated at init from the bitwise definition (which
+// crc8Bitwise preserves as the golden reference).
+var crc8Table = func() (tbl [256]byte) {
+	for i := range tbl {
+		crc := byte(i)
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+		tbl[i] = crc
+	}
+	return tbl
+}()
+
 // crc8 implements the ROHC CRC-8 (RFC 5795 §5.3.1.1: polynomial
 // x^8 + x^2 + x + 1), computed over the original uncompressed header
 // bytes so the decompressor can validate its reconstruction.
+// Table-driven; bit-identical to crc8Bitwise.
 func crc8(data []byte) byte {
+	crc := byte(0xff)
+	for _, b := range data {
+		crc = crc8Table[crc^b]
+	}
+	return crc
+}
+
+// crc8Bitwise is the direct RFC 5795 §5.3.1.1 shift-register CRC — the
+// reference implementation crc8's lookup table is golden-tested
+// against.
+func crc8Bitwise(data []byte) byte {
 	crc := byte(0xff)
 	for _, b := range data {
 		crc ^= b
@@ -63,8 +111,13 @@ func crc8(data []byte) byte {
 	return crc
 }
 
-// headerCRC computes the validation CRC over a pure ACK's wire image.
-func headerCRC(p *packet.Packet) byte { return crc8(p.Marshal()) }
+// headerCRC computes the validation CRC over a pure ACK's wire image,
+// marshalling into the caller's scratch buffer (retained across calls)
+// so the steady-state path performs no allocation.
+func headerCRC(p *packet.Packet, scratch *[]byte) byte {
+	*scratch = p.MarshalAppend((*scratch)[:0])
+	return crc8(*scratch)
+}
 
 // Compressed-format flag bits (high nibble of the second byte).
 const (
@@ -166,12 +219,21 @@ func tupleOf(p *packet.Packet) packet.FiveTuple {
 // Compressor turns pure TCP ACKs into compressed representations.
 type Compressor struct {
 	contexts map[byte]*context
+	cids     cidCache
+	scratch  []byte // headerCRC marshal buffer
 }
 
 // NewCompressor returns an empty compressor.
 func NewCompressor() *Compressor {
-	return &Compressor{contexts: make(map[byte]*context)}
+	return &Compressor{
+		contexts: make(map[byte]*context),
+		cids:     make(cidCache),
+	}
 }
+
+// CID returns the context identifier for a flow, memoized per
+// five-tuple (the MD5 in the package-level CID runs once per flow).
+func (c *Compressor) CID(t packet.FiveTuple) byte { return c.cids.cid(t) }
 
 // shouldAbsorb decides whether a natively-travelling ACK re-anchors a
 // context. Both ends apply the same rule to the same packets, keeping
@@ -203,7 +265,7 @@ func (c *Compressor) Observe(p *packet.Packet) {
 	if !p.IsTCPAck() {
 		return
 	}
-	cid := CID(tupleOf(p))
+	cid := c.cids.cid(tupleOf(p))
 	ctx, ok := c.contexts[cid]
 	if !ok {
 		ctx = &context{}
@@ -236,6 +298,17 @@ func Anchor(data []byte, msn uint8) []byte {
 	return append(out, data[2:]...)
 }
 
+// AppendAnchor appends data to dst in Anchor's widened form (or
+// verbatim when already anchored/malformed), without the intermediate
+// allocation — the frame assembler's hot path.
+func AppendAnchor(dst, data []byte, msn uint8) []byte {
+	if len(data) < 2 || data[1]>>4&flagExtMSN != 0 {
+		return append(dst, data...)
+	}
+	dst = append(dst, data[0], data[1]|flagExtMSN<<4, msn)
+	return append(dst, data[2:]...)
+}
+
 // Compress encodes a pure TCP ACK against its flow context, in the
 // compact 4-bit-MSN form; msn is the ACK's full master sequence
 // number, which the frame assembler passes to Anchor for the first
@@ -248,7 +321,7 @@ func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool
 		return nil, 0, false
 	}
 	tuple := tupleOf(p)
-	cid := CID(tuple)
+	cid := c.cids.cid(tuple)
 	ctx, exists := c.contexts[cid]
 	if !exists || !ctx.valid || ctx.tuple != tuple {
 		return nil, 0, false
@@ -327,7 +400,7 @@ func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool
 			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(length))]...)
 		}
 	}
-	buf = append(buf, headerCRC(p))
+	buf = append(buf, headerCRC(p, &c.scratch))
 
 	// Commit the context only after a successful encode.
 	ctx.seq, ctx.ack = t.Seq, t.Ack
@@ -358,11 +431,23 @@ type Result struct {
 // Decompressor reconstitutes TCP ACKs from compressed HACK frames.
 type Decompressor struct {
 	contexts map[byte]*context
+	cids     cidCache
+	scratch  []byte // headerCRC marshal buffer
+
+	// Per-frame MSN chain (the prevMSN map of Decompress, flattened):
+	// prevMSN[cid] is valid for the current frame iff prevEpoch[cid]
+	// equals epoch, which bumping epoch invalidates in O(1) per frame.
+	prevMSN   [256]uint8
+	prevEpoch [256]uint64
+	epoch     uint64
 }
 
 // NewDecompressor returns an empty decompressor.
 func NewDecompressor() *Decompressor {
-	return &Decompressor{contexts: make(map[byte]*context)}
+	return &Decompressor{
+		contexts: make(map[byte]*context),
+		cids:     make(cidCache),
+	}
 }
 
 // debugLog, when set, receives decompressor diagnostics (tests only).
@@ -378,7 +463,7 @@ func (d *Decompressor) Observe(p *packet.Packet) {
 	if !p.IsTCPAck() {
 		return
 	}
-	cid := CID(tupleOf(p))
+	cid := d.cids.cid(tupleOf(p))
 	ctx, ok := d.contexts[cid]
 	if !ok {
 		ctx = &context{}
@@ -410,10 +495,10 @@ var (
 // the affected ACK and poison its context until a native refresh.
 func (d *Decompressor) Decompress(frame []byte) (Result, error) {
 	var res Result
-	prevMSN := make(map[byte]uint8) // per-CID MSN chain within this frame
+	d.epoch++ // invalidate the previous frame's per-CID MSN chain
 	i := 0
 	for i < len(frame) {
-		n, err := d.one(frame[i:], prevMSN, &res)
+		n, err := d.one(frame[i:], &res)
 		if err != nil {
 			return res, fmt.Errorf("at offset %d: %w", i, err)
 		}
@@ -423,7 +508,7 @@ func (d *Decompressor) Decompress(frame []byte) (Result, error) {
 }
 
 // one parses a single compressed ACK, returning its encoded length.
-func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, error) {
+func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 	if len(b) < 3 {
 		return 0, errTruncated
 	}
@@ -442,7 +527,7 @@ func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, 
 		}
 		msn = b[i]
 		i++
-	} else if prev, ok := prevMSN[cid]; ok {
+	} else if prev, ok := d.prevMSN[cid], d.prevEpoch[cid] == d.epoch; ok {
 		// Reconstruct the full MSN from 4 LSBs against the previous ACK
 		// of the same flow in this frame: batch ACKs are consecutive,
 		// so snap to the candidate nearest prev+1.
@@ -542,7 +627,8 @@ func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, 
 		res.FailNoAnchor++
 		return i, nil
 	}
-	prevMSN[cid] = msn
+	d.prevMSN[cid] = msn
+	d.prevEpoch[cid] = d.epoch
 
 	if ctx == nil || !ctx.valid {
 		res.Failures++
@@ -568,18 +654,27 @@ func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, 
 	if !ipIDExplicit {
 		ipIDD = uint64(ctx.ipIDStride)
 	}
-	p := &packet.Packet{
-		IP: packet.IPv4{
-			TOS: ctx.tos, TTL: ctx.ttl, ID: ctx.ipID + uint16(ipIDD),
-			Protocol: packet.ProtoTCP,
-			Src:      ctx.tuple.Src, Dst: ctx.tuple.Dst,
+	// One combined allocation for the packet and its TCP header (they
+	// share a lifetime; reconstruction is the decompressor's hot path).
+	recon := &struct {
+		p packet.Packet
+		t packet.TCP
+	}{
+		p: packet.Packet{
+			IP: packet.IPv4{
+				TOS: ctx.tos, TTL: ctx.ttl, ID: ctx.ipID + uint16(ipIDD),
+				Protocol: packet.ProtoTCP,
+				Src:      ctx.tuple.Src, Dst: ctx.tuple.Dst,
+			},
 		},
-		TCP: &packet.TCP{
+		t: packet.TCP{
 			SrcPort: ctx.tuple.SrcPort, DstPort: ctx.tuple.DstPort,
 			Seq: ctx.seq + uint32(seqD), Ack: ctx.ack + uint32(ackD),
 			Flags: packet.FlagACK,
 		},
 	}
+	p := &recon.p
+	p.TCP = &recon.t
 	if flags&flagWinChanged != 0 {
 		p.TCP.Window = window
 	} else {
@@ -595,13 +690,13 @@ func (d *Decompressor) one(b []byte, prevMSN map[byte]uint8, res *Result) (int, 
 		p.TCP.Opt.SACKBlocks = append(p.TCP.Opt.SACKBlocks, [2]uint32{left, left + s[1]})
 	}
 
-	if debugLog != nil && headerCRC(p) != wantCRC {
+	if debugLog != nil && headerCRC(p, &d.scratch) != wantCRC {
 		debugLog("CRCFAIL cid=%d msn=%d ctx.ack=%d recon=[ack=%d seq=%d win=%d tsv=%d tse=%d ipid=%d] strides[ack=%d tsv=%d tse=%d ipid=%d] lasts[%d %d %d %d] flags=%x opt=%x started=%v",
 			cid, msn, ctx.ack, p.TCP.Ack, p.TCP.Seq, p.TCP.Window, p.TCP.Opt.TSVal, p.TCP.Opt.TSEcr, p.IP.ID,
 			ctx.ackStride, ctx.tsValStride, ctx.tsEcrStride, ctx.ipIDStride,
 			ctx.lastAckD, ctx.lastTSValD, ctx.lastTSEcrD, ctx.lastIPIDD, flags, opt, ctx.started)
 	}
-	if headerCRC(p) != wantCRC {
+	if headerCRC(p, &d.scratch) != wantCRC {
 		// Context damage: reject and distrust until a native refresh
 		// (paper §3.4 — damage must not persist; the flow's next native
 		// ACK restores synchronization).

@@ -218,6 +218,15 @@ func NewEndpoint(sched *sim.Scheduler, cfg Config) *Endpoint {
 		ep.effectiveMSS -= 12
 	}
 	ep.rto = sim.Second
+	// Both protocol timers are persistent: allocated once here with
+	// their callbacks and Reset on every (re)arming, so the per-ACK
+	// timer churn costs nothing.
+	ep.rtxTimer = sim.NewTimer(ep.onRTO)
+	ep.delackTimer = sim.NewTimer(func() {
+		if ep.delackCount > 0 {
+			ep.sendAck()
+		}
+	})
 	return ep
 }
 
@@ -278,21 +287,30 @@ func (ep *Endpoint) nowTS() uint32 {
 	return uint32(ep.sched.Now() / sim.Millisecond)
 }
 
-// newPacket builds an IP/TCP packet toward the peer.
+// newPacket builds an IP/TCP packet toward the peer. The packet and
+// its TCP header share one allocation — they share a lifetime, and
+// this is the per-segment hot path.
 func (ep *Endpoint) newPacket(flags byte, seq uint32, payload int) *packet.Packet {
 	ep.ipID++
-	p := &packet.Packet{
-		IP: packet.IPv4{
-			TTL: 64, Protocol: packet.ProtoTCP, ID: ep.ipID,
-			Src: ep.cfg.Local, Dst: ep.cfg.Remote,
+	pt := &struct {
+		p packet.Packet
+		t packet.TCP
+	}{
+		p: packet.Packet{
+			IP: packet.IPv4{
+				TTL: 64, Protocol: packet.ProtoTCP, ID: ep.ipID,
+				Src: ep.cfg.Local, Dst: ep.cfg.Remote,
+			},
+			PayloadLen: payload,
 		},
-		TCP: &packet.TCP{
+		t: packet.TCP{
 			SrcPort: ep.cfg.LocalPort, DstPort: ep.cfg.RemotePort,
 			Seq: seq, Flags: flags,
 			Window: uint16(ep.cfg.RcvWindow >> ep.cfg.WindowScale),
 		},
-		PayloadLen: payload,
 	}
+	p := &pt.p
+	p.TCP = &pt.t
 	if flags&packet.FlagACK != 0 {
 		p.TCP.Ack = ep.rcvNxt
 	}

@@ -124,12 +124,8 @@ func (ep *Endpoint) maybeDelayAck() {
 		ep.sendAck()
 		return
 	}
-	if ep.delackTimer == nil || ep.delackTimer.Cancelled() {
-		ep.delackTimer = ep.sched.After(ep.cfg.DelAckTimeout, func() {
-			if ep.delackCount > 0 {
-				ep.sendAck()
-			}
-		})
+	if !ep.delackTimer.Pending() {
+		ep.sched.Reset(ep.delackTimer, ep.sched.Now()+ep.cfg.DelAckTimeout)
 	}
 }
 
@@ -143,10 +139,7 @@ func (ep *Endpoint) sendAck() {
 // the leading D-SACK block (RFC 2883).
 func (ep *Endpoint) sendAckDup(dup interval) {
 	ep.delackCount = 0
-	if ep.delackTimer != nil {
-		ep.sched.Cancel(ep.delackTimer)
-		ep.delackTimer = nil
-	}
+	ep.sched.Cancel(ep.delackTimer)
 	p := ep.newPacket(packet.FlagACK, ep.sndNxt, 0)
 	if ep.sackEnabled {
 		max := 3

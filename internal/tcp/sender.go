@@ -435,19 +435,17 @@ func (ep *Endpoint) updateRTT(sample sim.Duration) {
 func (ep *Endpoint) SRTT() sim.Duration { return ep.srtt }
 
 func (ep *Endpoint) armRTX() {
-	ep.disarmRTX()
-	ep.rtxTimer = ep.sched.After(ep.rto, ep.onRTO)
+	ep.sched.Reset(ep.rtxTimer, ep.sched.Now()+ep.rto)
 }
 
 func (ep *Endpoint) armRTXIfIdle() {
-	if ep.rtxTimer == nil || ep.rtxTimer.Cancelled() {
+	if !ep.rtxTimer.Pending() {
 		ep.armRTX()
 	}
 }
 
 func (ep *Endpoint) disarmRTX() {
 	ep.sched.Cancel(ep.rtxTimer)
-	ep.rtxTimer = nil
 }
 
 // onRTO fires when the retransmission timer expires.
