@@ -52,7 +52,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 1a, 1b, 9, 10, 11, 12 (empty = all)")
+	fig := flag.String("fig", "", "figure to regenerate: 1a, 1b, 9, 10, 11, 12, loss (empty = all)")
 	table := flag.Int("table", 0, "table to regenerate: 1, 2, 3 (0 = all)")
 	xval := flag.Bool("xval", false, "run only the §4.2 cross-validation")
 	measure := flag.Duration("measure", 3*time.Second, "steady-state measurement window (simulated)")
@@ -64,7 +64,7 @@ func main() {
 	sweepModes := flag.String("sweep-modes", "", "comma-separated HACK modes to sweep (off,more-data,opportunistic,timer)")
 	sweepClients := flag.String("sweep-clients", "", "comma-separated client counts to sweep")
 	sweepLoss := flag.String("sweep-loss", "", "comma-separated uniform loss probabilities to sweep")
-	sweepAdapters := flag.String("sweep-adapters", "", "comma-separated rate adapters to sweep (fixed, fixed:<rate>, ideal, minstrel)")
+	sweepAdapters := flag.String("sweep-adapters", "", "comma-separated rate adapters to sweep (fixed, fixed:<rate>, ideal, argmax, minstrel)")
 	sweepRates := flag.String("sweep-rates", "", "comma-separated PHY rates to sweep (a6..a54, mcs0..mcs7, mcs<i>x<streams>)")
 	fig11Method := flag.String("fig11-method", "ideal", "Figure 11 method: ideal, minstrel (one simulation per SNR), or envelope (legacy fixed-rate sweep)")
 	format := flag.String("format", "text", "sweep output: text, csv, json")
@@ -167,6 +167,7 @@ func main() {
 	run("Figure 10: multi-client 802.11n", *fig == "10", func() { fig10(o) })
 	run("Figure 11: SNR sweep with rate adaptation", *fig == "11", func() { fig11(o, *fig11Method) })
 	run("Figure 12: theory vs simulation", *fig == "12", func() { fig12(o) })
+	run("Loss resilience: loss × mode × adapter grid", *fig == "loss", func() { lossResilience(o) })
 
 	if !did {
 		fmt.Fprintln(os.Stderr, "nothing selected; see -h")
@@ -510,6 +511,21 @@ func fig11(o tcphack.ExperimentOptions, method string) {
 		fmt.Printf("%-8.0f %12.1f M %12.1f M %10s\n", snr, tcp, hck, gain)
 	}
 	fmt.Printf("mean envelope improvement: %.1f%% (paper: 12.6%%)\n", res.MeanImprovementPct)
+}
+
+// lossResilience prints the loss-resilience grid: goodput vs uniform
+// loss for stock TCP and HACK MORE-DATA under the threshold (ideal)
+// and expected-goodput (argmax) oracles, with the §4.3 health counter
+// per cell (must be zero everywhere).
+func lossResilience(o tcphack.ExperimentOptions) {
+	rows := tcphack.LossResilience(o, nil, nil)
+	fmt.Printf("%8s  %-10s %-8s %14s %10s %14s\n",
+		"loss", "mode", "adapter", "goodput (Mbps)", "retries", "rohc failures")
+	for _, r := range rows {
+		fmt.Printf("%7.1f%%  %-10v %-8s %8.2f ±%4.2f %10.0f %14.0f\n",
+			r.LossPct, r.Mode, r.Adapter, r.GoodputMbps, r.GoodputStdDev,
+			r.Retries, r.DecompFailures)
+	}
 }
 
 func fig12(o tcphack.ExperimentOptions) {

@@ -32,7 +32,7 @@ func main() {
 	scenarioFlag := flag.String("scenario", "", "named scenario from the registry (see -list)")
 	list := flag.Bool("list", false, "list named scenarios and exit")
 	modeFlag := flag.String("mode", "off", "HACK mode: off, more-data, opportunistic, timer")
-	adapter := flag.String("adapter", "", "rate adapter: fixed, fixed:<rate>, ideal, minstrel")
+	adapter := flag.String("adapter", "", "rate adapter: fixed, fixed:<rate>, ideal, argmax, minstrel")
 	phyFlag := flag.String("phy", "ht", "PHY: ht (802.11n) or a54 (802.11a @54)")
 	mcs := flag.Int("mcs", 7, "HT MCS index 0-7 (802.11n)")
 	clients := flag.Int("clients", 1, "number of downloading clients")

@@ -52,6 +52,61 @@ func ParseMode(s string) (Mode, error) {
 	return ModeOff, fmt.Errorf("unknown mode %q (want off, more-data, opportunistic, or timer)", s)
 }
 
+// RecoveryState is the per-peer state of the compressed-ACK recovery
+// machine (see the package documentation for the full transition
+// diagram and the invariant each transition preserves).
+type RecoveryState int
+
+const (
+	// StateNative: no live compressed chain toward the peer. ACKs
+	// travel natively; the first successful hold starts a chain.
+	StateNative RecoveryState = iota
+	// StateCompressing: a healthy chain is open — held ACKs ride
+	// link-layer ACKs and retained state re-rides until confirmed
+	// (§3.4).
+	StateCompressing
+	// StateResyncing: the chain was abandoned (a BA gap the §3.4
+	// machinery cannot bridge, a guard violation, or a native
+	// interleave) and has not reopened yet. Held state was dropped and
+	// replayed natively; the next held ACK reopens the chain with an
+	// IR refresh, which re-establishes the decompressor context
+	// absolutely — so reopening never waits on the replay's fate.
+	StateResyncing
+)
+
+func (s RecoveryState) String() string {
+	switch s {
+	case StateNative:
+		return "native"
+	case StateCompressing:
+		return "compressing"
+	case StateResyncing:
+		return "resyncing"
+	}
+	return fmt.Sprintf("RecoveryState(%d)", int(s))
+}
+
+// DefaultMaxPayload bounds the compressed payload appended to one
+// link-layer ACK. It must not exceed the MAC's AckPayloadAllowance:
+// a longer response than the sender's ACK timeout budget arrives after
+// the deadline, the exchange "fails", and the retained state grows —
+// the positive feedback loop behind the historical MORE-DATA collapse
+// under uniform loss.
+const DefaultMaxPayload = 1024
+
+// msnRetainLimit bounds the per-flow MSN span of one assembled frame
+// (oldest retained to newest ridden). The decompressor's duplicate
+// filter treats an MSN up to 127 behind the newest delivered one as a
+// duplicate and anything beyond as new, so a retained ACK re-ridden
+// with a span ≥ 128 would be mistaken for fresh state and poison the
+// context. 120 leaves margin below the wrap point.
+const msnRetainLimit = 120
+
+// maxHeld is the NIC descriptor-table bound on not-yet-ridden ACKs
+// per peer — a final safety valve; the payload and MSN guards trip
+// long before it in practice.
+const maxHeld = 128
+
 // Config parameterizes a Driver.
 type Config struct {
 	Mode Mode
@@ -62,6 +117,10 @@ type Config struct {
 	DriverLatency sim.Duration
 	// HoldTimeout bounds ACK retention in ModeTimer.
 	HoldTimeout sim.Duration
+	// MaxPayload bounds the compressed payload per link-layer ACK
+	// (default DefaultMaxPayload). It must stay within the MAC's
+	// AckPayloadAllowance or response frames outrun the ACK timeout.
+	MaxPayload int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,13 +130,15 @@ func (c Config) withDefaults() Config {
 	if c.HoldTimeout == 0 {
 		c.HoldTimeout = 5 * sim.Millisecond
 	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = DefaultMaxPayload
+	}
 	return c
 }
 
 // heldAck is one TCP ACK held by the driver.
 type heldAck struct {
 	pkt     *packet.Packet
-	dst     mac.Addr
 	data    []byte   // compressed form (4-bit MSN; anchored at assembly)
 	msn     uint8    // full master sequence number, for rohc.Anchor
 	cid     byte     // flow context id
@@ -88,32 +149,33 @@ type heldAck struct {
 
 // peerState tracks HACK state toward one MAC peer.
 type peerState struct {
-	moreData    bool
-	pending     []heldAck // compressed, not yet ridden on an LL ACK
-	unconfirmed []heldAck // ridden, awaiting implicit confirmation
+	state    RecoveryState
+	moreData bool
+	pending  []heldAck // compressed, not yet ridden on an LL ACK
+	// unconfirmed holds ridden ACKs awaiting implicit confirmation;
+	// they re-ride every link-layer ACK until Progress confirms them
+	// (§3.4) or a resync abandons the chain.
+	unconfirmed []heldAck
 	holdTimer   *sim.Timer
 
-	// Native-synchronization gate. Compressed ACKs ride link-layer
-	// ACKs, which can overtake natively-queued chain members; a delta
-	// referencing state the decompressor has not yet received would be
-	// rejected by its CRC. So while any natively-sent ACK toward this
-	// peer is unresolved (or the last one expired undelivered), new
-	// ACKs also travel natively; compression resumes only once the
-	// native stream has demonstrably caught up.
-	nativeInFlight int
-	nativeExpired  bool
-	// gated marks natives whose resolution the syncing gate awaits;
-	// ungated refresh duplicates must not perturb the counter.
-	gated map[*packet.Packet]int
+	// syncSeen marks that the currently retained generation has
+	// already survived one SYNC indication — one full Block ACK
+	// generation (the Block ACK and every BAR-elicited retransmission
+	// of it) was lost. A second SYNC without intervening Progress
+	// means two consecutive generations are gone; the state machine
+	// re-anchors instead of stretching the MSN chain further.
+	syncSeen bool
+
 	// resolved records per-packet native outcomes (opportunistic mode:
 	// a held ACK whose native copy is known-delivered may be discarded
 	// safely; an in-flight one blocks riding of it and its successors).
 	resolved map[*packet.Packet]bool
 }
 
-// syncing reports whether compression toward this peer must pause.
-func (ps *peerState) syncing() bool {
-	return ps.nativeInFlight > 0 || ps.nativeExpired
+// held reports whether any compressed state (pending or retained) is
+// alive toward this peer.
+func (ps *peerState) held() bool {
+	return len(ps.pending) > 0 || len(ps.unconfirmed) > 0
 }
 
 // Driver is the per-station HACK driver. Wire EnqueueNative, ForwardUp
@@ -141,6 +203,9 @@ type Driver struct {
 
 	// Acct accumulates Table 2's accounting.
 	Acct stats.AckAccounting
+	// Resyncs counts chain abandonments (StateResyncing entries that
+	// tore down live compressed state). Zero in lossless steady state.
+	Resyncs uint64
 	// Decomp aggregates decompression results (failures must stay 0 in
 	// healthy runs — the paper's §4.3 claim).
 	DecompDuplicates uint64
@@ -173,6 +238,10 @@ func (d *Driver) peer(a mac.Addr) *peerState {
 	return p
 }
 
+// PeerState reports the recovery-machine state toward peer (tests and
+// diagnostics).
+func (d *Driver) PeerState(peer mac.Addr) RecoveryState { return d.peer(peer).state }
+
 // SubmitAck intercepts an outgoing pure TCP ACK destined to dst.
 // Anything that is not a pure ACK must bypass the driver.
 func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
@@ -184,25 +253,36 @@ func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
 	case ModeOff:
 		d.sendNative(dst, p)
 	case ModeMoreData:
-		if !ps.moreData || ps.syncing() {
-			d.sendNative(dst, p)
+		if !ps.moreData || len(ps.pending) >= maxHeld || !d.hold(ps, p, 0) {
+			d.goNative(dst, ps, p)
 			return
 		}
-		if !d.hold(ps, dst, p, 0) {
-			d.sendNative(dst, p)
-		}
+		ps.state = StateCompressing
 	case ModeOpportunistic:
 		// Contend natively and register a compressed copy with the NIC;
 		// whichever path wins the medium first carries the ACK. (The
-		// syncing gate does not apply: the native copy is the
-		// authoritative one and riding is gated on withdrawing it.)
-		d.hold(ps, dst, p, 0)
+		// recovery machine's native gate does not apply: the native
+		// copy is the authoritative one and riding is gated on
+		// withdrawing it.) The mode retains nothing across lost
+		// link-layer ACKs, so each copy travels as a self-contained IR
+		// refresh — decodable however large the gap in what the peer's
+		// decompressor has seen. Beyond the descriptor-table bound the
+		// copy is simply not registered: the native is authoritative,
+		// so skipping the compressed path loses nothing.
+		if len(ps.pending) < maxHeld {
+			if t, ok := p.Tuple(); ok {
+				d.comp.Refresh(t)
+			}
+			d.hold(ps, p, 0)
+		}
 		d.sendNative(dst, p)
 	case ModeTimer:
-		if ps.syncing() || !d.hold(ps, dst, p, d.sched.Now()+d.cfg.HoldTimeout) {
-			d.sendNative(dst, p)
+		if len(ps.pending) >= maxHeld ||
+			!d.hold(ps, p, d.sched.Now()+d.cfg.HoldTimeout) {
+			d.goNative(dst, ps, p)
 			return
 		}
+		ps.state = StateCompressing
 		d.armHoldTimer(dst, ps)
 	}
 }
@@ -211,24 +291,15 @@ func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
 // toward dst: delivered (confirmed by the MAC, or superseded by a
 // withdrawn-and-ridden compressed copy) or expired. Wire the MAC's
 // OnMSDUResolved to this.
+//
+// The recovery machine does not gate on native delivery: every native
+// send flags the flow for an IR refresh, so the chain's next
+// compressed ACK re-establishes the decompressor context absolutely
+// whether or not (and whenever) the native arrives. Only opportunistic
+// mode consumes the resolution, to decide a held copy's fate.
 func (d *Driver) NativeResolved(dst mac.Addr, p *packet.Packet, delivered bool) {
-	ps := d.peer(dst)
-	if c, isGated := ps.gated[p]; isGated {
-		if c <= 1 {
-			delete(ps.gated, p)
-		} else {
-			ps.gated[p] = c - 1
-		}
-		if ps.nativeInFlight > 0 {
-			ps.nativeInFlight--
-		}
-		if delivered {
-			ps.nativeExpired = false
-		} else {
-			ps.nativeExpired = true
-		}
-	}
 	if d.cfg.Mode == ModeOpportunistic && p != nil {
+		ps := d.peer(dst)
 		if ps.resolved == nil {
 			ps.resolved = make(map[*packet.Packet]bool)
 		}
@@ -238,66 +309,97 @@ func (d *Driver) NativeResolved(dst mac.Addr, p *packet.Packet, delivered bool) 
 
 // hold compresses p into the peer's pending set; false means the ACK
 // cannot travel compressed (no context yet) and must go natively.
-func (d *Driver) hold(ps *peerState, dst mac.Addr, p *packet.Packet, expires sim.Time) bool {
+func (d *Driver) hold(ps *peerState, p *packet.Packet, expires sim.Time) bool {
 	data, msn, ok := d.comp.Compress(p)
 	if !ok {
 		return false
 	}
 	tuple, _ := p.Tuple()
 	ps.pending = append(ps.pending, heldAck{
-		pkt: p, dst: dst, data: data, msn: msn, cid: d.comp.CID(tuple),
+		pkt: p, data: data, msn: msn, cid: d.comp.CID(tuple),
 		readyAt: d.sched.Now() + d.cfg.DriverLatency,
 		expires: expires,
 	})
-	// Bound the NIC descriptor table. The evicted ACK must still reach
-	// the peer through SOME path or the compression chain breaks: in
-	// opportunistic mode its native copy is already queued; in the
-	// holding modes, send it natively now (this is also a safety valve
-	// against the §3.2 stall, where a sender pause leaves a window of
-	// ACKs parked at the client).
-	if len(ps.pending) > 2*64 {
-		evicted := ps.pending[0]
-		ps.pending = ps.pending[1:]
-		if d.cfg.Mode != ModeOpportunistic {
-			d.sendNative(evicted.dst, evicted.pkt)
-		}
-	}
 	return true
 }
 
-// sendNative transmits p as an ordinary packet, refreshing compression
-// context at both ends (the decompressor observes it on reception) and
-// engaging the syncing gate until its delivery resolves.
-//
-// Because TCP ACKs are cumulative, this native supersedes every held
-// ACK with a strictly older acknowledgment number: riding those later
-// would deliver nothing TCP needs, and their deltas would reference
-// chain state from before the native re-anchor. Drop them.
-func (d *Driver) sendNative(dst mac.Addr, p *packet.Packet) {
-	ps := d.peer(dst)
-	keepNewer := func(hs []heldAck) []heldAck {
-		out := hs[:0]
-		for _, h := range hs {
-			// Keep strictly newer ACKs — and the packet itself, which
-			// opportunistic mode holds and sends natively in tandem.
-			if h.pkt == p || int32(p.TCP.Ack-h.pkt.TCP.Ack) < 0 {
-				out = append(out, h)
-			}
-		}
-		return out
+// goNative sends p natively from a holding mode. Any live compressed
+// state toward the peer is torn down first: a native interleaved with
+// compressed state would re-anchor the two codec ends asymmetrically
+// (the compressor absorbs it at send time only if it is newer than the
+// chain tip; the decompressor absorbs it whenever it is newer than the
+// last *delivered* state), forking the stride predictors. The machine
+// therefore never mixes the two paths — it resyncs, then goes native.
+func (d *Driver) goNative(dst mac.Addr, ps *peerState, p *packet.Packet) {
+	if ps.held() {
+		d.enterResync(dst, ps)
 	}
-	ps.pending = keepNewer(ps.pending)
-	ps.unconfirmed = keepNewer(ps.unconfirmed)
+	d.sendNative(dst, p)
+}
 
+// sendNative transmits p as an ordinary packet. The compressor
+// absorbs it (if it advances the flow), which flags the flow for an IR
+// refresh: the decompressor observes the native whenever — and
+// whether — it arrives, and the IR covers every other ordering.
+func (d *Driver) sendNative(dst mac.Addr, p *packet.Packet) {
 	d.comp.Observe(p)
 	d.Acct.NativeAcks++
 	d.Acct.NativeAckBytes += uint64(p.Len())
-	ps.nativeInFlight++
-	if ps.gated == nil {
-		ps.gated = make(map[*packet.Packet]int)
-	}
-	ps.gated[p]++
 	d.EnqueueNative(dst, p)
+}
+
+// enterResync abandons the compressed chain toward the peer: every
+// held ACK is dropped from the compressed path and a conservative
+// native replay re-anchors each flow from its last acknowledged state
+// — all never-ridden pending ACKs (they carry SACK state TCP has not
+// seen) plus, for flows with retained-but-unconfirmed state only, the
+// newest retained ACK (cumulative acknowledgment makes the older ones
+// redundant).
+//
+// The replay is strictly newer than — or equal to — the chain tip of
+// every affected flow, so the compressor absorbs it at send and flags
+// the flow refreshed: when the chain reopens, the first compressed ACK
+// per flow travels as a self-contained IR refresh, making the teardown
+// safe no matter which replay natives arrive, in what order, or when.
+// Reopening therefore does not wait on the replay — the next held ACK
+// restarts compression immediately.
+func (d *Driver) enterResync(dst mac.Addr, ps *peerState) {
+	pending, unconf := ps.pending, ps.unconfirmed
+	ps.pending, ps.unconfirmed = nil, nil
+	ps.syncSeen = false
+	if d.cfg.Mode == ModeTimer && ps.holdTimer != nil {
+		d.sched.Cancel(ps.holdTimer)
+	}
+	if len(pending) == 0 && len(unconf) == 0 {
+		return
+	}
+	d.Resyncs++
+	ps.state = StateResyncing
+
+	// Newest retained ACK per flow, for flows with no pending member
+	// (pending replays supersede retained state of the same flow).
+	inPending := make(map[byte]bool, len(pending))
+	for i := range pending {
+		inPending[pending[i].cid] = true
+	}
+	newest := make(map[byte]int, len(unconf))
+	var order []byte
+	for i := range unconf {
+		cid := unconf[i].cid
+		if inPending[cid] {
+			continue
+		}
+		if _, ok := newest[cid]; !ok {
+			order = append(order, cid)
+		}
+		newest[cid] = i
+	}
+	for _, cid := range order {
+		d.sendNative(dst, unconf[newest[cid]].pkt)
+	}
+	for i := range pending {
+		d.sendNative(dst, pending[i].pkt)
+	}
 }
 
 // armHoldTimer schedules the ModeTimer flush for the earliest expiry.
@@ -316,30 +418,50 @@ func (d *Driver) armHoldTimer(dst mac.Addr, ps *peerState) {
 	d.sched.Reset(ps.holdTimer, ps.pending[0].expires)
 }
 
-// flushExpired sends timed-out held ACKs natively (ModeTimer).
+// flushExpired handles a ModeTimer hold-timeout: at least one held ACK
+// exhausted its piggyback window without an opportunity, so the
+// opportunity stream toward this peer has dried up — the chain resyncs
+// and the replay delivers every held ACK natively.
 func (d *Driver) flushExpired(dst mac.Addr, ps *peerState) {
 	now := d.sched.Now()
-	var kept []heldAck
-	for _, h := range ps.pending {
-		if h.expires <= now {
-			d.sendNative(dst, h.pkt)
-		} else {
-			kept = append(kept, h)
-		}
+	if len(ps.pending) == 0 || ps.pending[0].expires > now {
+		d.armHoldTimer(dst, ps)
+		return
 	}
-	ps.pending = kept
-	d.armHoldTimer(dst, ps)
+	d.enterResync(dst, ps)
 }
 
-// flushPendingNative converts all held-but-unridden ACKs to native
-// transmission (the Figures 3–4 race: data arrived with MORE DATA
-// clear before the NIC saw the descriptors, or the latch dropped).
-func (d *Driver) flushPendingNative(dst mac.Addr, ps *peerState) {
-	pending := ps.pending
-	ps.pending = nil
-	for _, h := range pending {
-		d.sendNative(dst, h.pkt)
+// frameSafe checks the §3.4 re-ride guards for an assembled frame:
+// the total payload must fit the MAC's ACK-timeout allowance (a longer
+// response would blow the peer's response deadline and fail the
+// exchange deterministically), and each flow's MSN span must stay
+// clear of the decompressor's 7-bit duplicate-filter wrap.
+func (d *Driver) frameSafe(unconf, ride []heldAck) bool {
+	total := 0
+	var first [256]uint8
+	var seen [256]bool
+	check := func(h *heldAck) bool {
+		total += len(h.data) + 1 // +1: worst-case anchor widening
+		if total > d.cfg.MaxPayload {
+			return false
+		}
+		if !seen[h.cid] {
+			seen[h.cid], first[h.cid] = true, h.msn
+			return true
+		}
+		return h.msn-first[h.cid] < msnRetainLimit
 	}
+	for i := range unconf {
+		if !check(&unconf[i]) {
+			return false
+		}
+	}
+	for i := range ride {
+		if !check(&ride[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // BuildAckPayload implements mac.Hooks: assemble the compressed frame
@@ -351,6 +473,7 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 	now := d.sched.Now()
 
 	// Split pending into NIC-visible (ready) and not-yet-DMA'd.
+	// readyAt is monotone in submission order, so ride is a prefix.
 	var ride, late []heldAck
 	for _, h := range ps.pending {
 		if h.readyAt <= now {
@@ -367,9 +490,20 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 		// flight blocks riding of its successors — a compressed
 		// successor overtaking it on a link-layer ACK would reference
 		// chain state the decompressor has not seen yet.
+		// The assembled payload must respect the same MaxPayload
+		// budget as the holding modes (the MAC's ACK-timeout allowance
+		// is sized to it): stop withdrawing once the budget is spent —
+		// the remaining copies' native twins are still queued, so they
+		// block here and contend natively or ride a later LL ACK.
+		budget := 0
 		var kept, blocked []heldAck
 		for i, h := range ride {
+			if budget+len(h.data)+1 > d.cfg.MaxPayload {
+				blocked = append(blocked, ride[i:]...)
+				break
+			}
 			if d.WithdrawNative != nil && d.WithdrawNative(peer, h.pkt) {
+				budget += len(h.data) + 1
 				kept = append(kept, h)
 				continue
 			}
@@ -387,6 +521,13 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 		}
 		ride = kept
 		late = append(blocked, late...)
+	} else if !d.frameSafe(ps.unconfirmed, ride) {
+		// Guard violation: the chain has outgrown what one link-layer
+		// ACK can safely carry. Re-anchor instead of emitting a frame
+		// the peer would time out on or mis-deduplicate.
+		ps.pending = append(ride, late...)
+		d.enterResync(peer, ps)
+		return nil
 	}
 
 	// Assemble the frame, widening the first MSN of each flow to the
@@ -421,30 +562,21 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 		// link-layer ACK is lost, the peer retransmits its data and
 		// TCP's cumulative ACKs recover.
 		ps.unconfirmed = nil
-	} else {
-		ps.unconfirmed = append(ps.unconfirmed, ride...)
+		ps.pending = late
+		return payload
 	}
+	ps.unconfirmed = append(ps.unconfirmed, ride...)
 	ps.pending = late
 
 	if d.cfg.Mode == ModeMoreData && !ps.moreData {
 		// No more data is coming (Figure 7): if this link-layer ACK is
-		// lost there will be no further piggyback opportunity, so do
-		// not retain state — later ACKs travel natively and TCP's
-		// cumulative ACKs absorb the gap.
-		//
-		// The compression chain, however, must not carry a silent gap:
-		// re-send the newest cleared ACK natively as well. If the
-		// link-layer ACK arrived this is an ignorable duplicate (not
-		// newer than the peer's context); if it was lost, the native
-		// copy re-anchors the decompressor absolutely, exactly where
-		// the compressor's context stands.
-		if n := len(ps.unconfirmed); n > 0 {
-			d.sendNative(peer, ps.unconfirmed[n-1].pkt)
-		}
-		ps.unconfirmed = nil
-		// Held ACKs whose DMA did not complete in time (the Figures
-		// 3–4 race) flush to native transmission now.
-		d.flushPendingNative(peer, ps)
+		// lost there will be no further piggyback opportunity, so the
+		// chain closes here. The resync replays each flow's newest
+		// cleared ACK natively (an ignorable duplicate if the
+		// link-layer ACK arrived; the absolute re-anchor if it was
+		// lost) and flushes ACKs that missed the DMA window (the
+		// Figures 3-4 race) to native transmission.
+		d.enterResync(peer, ps)
 	}
 	return payload
 }
@@ -474,6 +606,11 @@ func (d *Driver) ObserveNativeAck(p *packet.Packet) {
 	d.dec.Observe(p)
 }
 
+// ResyncNeeded reports whether this driver's decompressor holds a
+// damaged flow context awaiting a native re-anchor (§3.4 health
+// probe; healthy runs report false throughout).
+func (d *Driver) ResyncNeeded() bool { return d.dec.ResyncNeeded() }
+
 // DataIndication implements mac.Hooks: a data frame arrived from peer.
 // When the MORE DATA latch drops, pending ACKs whose DMA completed in
 // time still ride this frame's link-layer ACK; BuildAckPayload (which
@@ -486,11 +623,24 @@ func (d *Driver) DataIndication(peer mac.Addr, ind mac.DataInd) {
 	case ind.Sync:
 		// The peer gave up soliciting our previous link-layer ACK
 		// (Figure 8): our retained compressed ACKs were never
-		// delivered. Keep them; they ride the next link-layer ACK.
+		// delivered. The first gap keeps them — they ride the next
+		// link-layer ACK. A second gap without intervening Progress
+		// means two consecutive Block ACK generations were lost; the
+		// retained chain is no longer worth stretching toward the MSN
+		// guard, so the machine re-anchors now.
+		if len(ps.unconfirmed) == 0 {
+			break
+		}
+		if ps.syncSeen {
+			d.enterResync(peer, ps)
+			break
+		}
+		ps.syncSeen = true
 	case ind.Progress:
 		// The peer demonstrably received our previous link-layer ACK
 		// (Figures 5a/5b): retained state is delivered.
 		ps.unconfirmed = nil
+		ps.syncSeen = false
 	}
 }
 

@@ -265,6 +265,150 @@ func TestSyncRetainsState(t *testing.T) {
 	}
 }
 
+// TestConsecutiveBlockAckLossResync reproduces the historical
+// MORE-DATA collapse trigger: two consecutive Block ACK generations
+// lost (the Block ACK and every BAR-elicited re-send of it, twice
+// over). The first SYNC retains state per Figure 8; the second must
+// abandon the chain — replaying the newest retained ACK natively —
+// and the chain must reopen losslessly with an IR refresh.
+func TestConsecutiveBlockAckLossResync(t *testing.T) {
+	h := newHarness(ModeMoreData)
+	g := setupSteady(h)
+	h.client.SubmitAck(peerAP, g.next(2920))
+	h.client.SubmitAck(peerAP, g.next(2920))
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	h.llack(false) // Block ACK generation 1 lost
+	h.llack(false) // ... and its BAR-elicited re-sends
+	h.llack(false)
+	h.indicate(true, true, true) // first SYNC: Figure 8 retention
+	if h.client.UnconfirmedAcks(peerAP) != 2 {
+		t.Fatalf("unconfirmed = %d after first SYNC, want 2", h.client.UnconfirmedAcks(peerAP))
+	}
+	h.llack(false)               // Block ACK generation 2 lost too
+	h.indicate(true, true, true) // second SYNC: chain abandoned
+	if h.client.UnconfirmedAcks(peerAP) != 0 || h.client.PendingAcks(peerAP) != 0 {
+		t.Fatalf("held state survives double BA gap: unconf=%d pending=%d",
+			h.client.UnconfirmedAcks(peerAP), h.client.PendingAcks(peerAP))
+	}
+	if got := h.client.PeerState(peerAP); got != StateResyncing {
+		t.Fatalf("state = %v after double BA gap, want %v", got, StateResyncing)
+	}
+	if h.client.Resyncs != 1 {
+		t.Errorf("resyncs = %d, want 1", h.client.Resyncs)
+	}
+	// Conservative replay: the newest retained ACK re-anchors natively.
+	if len(h.nativeQueue) != 1 || h.nativeQueue[0].TCP.Ack != g.ack {
+		t.Fatalf("replay queue = %d (want 1 native carrying ack %d)", len(h.nativeQueue), g.ack)
+	}
+	h.deliverNative()
+	// The chain reopens on the next held ACK and stays lossless.
+	h.client.SubmitAck(peerAP, g.next(2920))
+	if got := h.client.PeerState(peerAP); got != StateCompressing {
+		t.Fatalf("state = %v after reopen, want %v", got, StateCompressing)
+	}
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	if p := h.llack(true); len(p) == 0 {
+		t.Fatal("reopened chain produced no payload")
+	}
+	if h.ap.DecompFailures != 0 {
+		t.Fatalf("decompression failures after double-loss recovery: %d", h.ap.DecompFailures)
+	}
+	if h.ap.ResyncNeeded() {
+		t.Error("AP decompressor reports damaged context after recovery")
+	}
+	if n := len(h.forwarded); n == 0 || h.forwarded[n-1].TCP.Ack != g.ack {
+		t.Errorf("post-resync ACK not reconstructed (forwarded %d)", n)
+	}
+}
+
+// TestResyncReopenBeforeReplayArrives pins the reorder race behind the
+// residual collapse failures: the resync's native replay is parked (a
+// reorder buffer, a lost frame — here simply never delivered) while
+// the reopened chain's first Block ACK arrives. The IR refresh must
+// carry the chain on its own; the decompressor never sees the native.
+func TestResyncReopenBeforeReplayArrives(t *testing.T) {
+	h := newHarness(ModeMoreData)
+	g := setupSteady(h)
+	h.client.SubmitAck(peerAP, g.next(2920))
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	h.llack(false)
+	h.indicate(true, true, true) // SYNC 1: retain
+	h.llack(false)
+	h.indicate(true, true, true) // SYNC 2: resync, replay queued
+	if len(h.nativeQueue) == 0 {
+		t.Fatal("no native replay")
+	}
+	// Replay NOT delivered: the decompressor's context is stale.
+	h.client.SubmitAck(peerAP, g.next(2920))
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	if p := h.llack(true); len(p) == 0 {
+		t.Fatal("no payload from reopened chain")
+	}
+	if h.ap.DecompFailures != 0 {
+		t.Fatalf("IR reopen not self-contained: %d failures (crc=%d noctx=%d)",
+			h.ap.DecompFailures, h.ap.FailCRC, h.ap.FailNoContext)
+	}
+	if n := len(h.forwarded); n == 0 || h.forwarded[n-1].TCP.Ack != g.ack {
+		t.Fatalf("reopened chain's ACK not delivered (forwarded %d)", n)
+	}
+}
+
+// TestPayloadBudgetGuard: retained state that would push one
+// link-layer ACK past the MAC's timeout allowance must trigger a
+// resync instead of emitting a frame the peer would time out on — the
+// positive feedback loop behind the collapse.
+func TestPayloadBudgetGuard(t *testing.T) {
+	h := newHarness(ModeMoreData)
+	h.client.cfg.MaxPayload = 48
+	g := setupSteady(h)
+	for i := 0; i < 16; i++ { // ≈16 × (4-5 B) ≫ 48 B budget
+		h.client.SubmitAck(peerAP, g.next(2920))
+	}
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	if p := h.llack(true); p != nil {
+		t.Fatalf("over-budget frame emitted (%d bytes)", len(p))
+	}
+	if h.client.PeerState(peerAP) != StateResyncing || h.client.Resyncs != 1 {
+		t.Fatalf("budget violation did not resync (state=%v resyncs=%d)",
+			h.client.PeerState(peerAP), h.client.Resyncs)
+	}
+	// Every held ACK was replayed natively — nothing is lost to TCP.
+	if len(h.nativeQueue) == 0 {
+		t.Fatal("budget resync replayed nothing")
+	}
+	last := h.nativeQueue[len(h.nativeQueue)-1]
+	if last.TCP.Ack != g.ack {
+		t.Errorf("replay tip ack = %d, want %d", last.TCP.Ack, g.ack)
+	}
+}
+
+// TestMSNWindowGuard: a retained generation spanning close to the
+// decompressor's 7-bit duplicate window must re-anchor before a stale
+// re-ride could wrap into the "fresh" half and poison the context.
+func TestMSNWindowGuard(t *testing.T) {
+	h := newHarness(ModeMoreData)
+	g := setupSteady(h)
+	for i := 0; i < 125; i++ {
+		h.client.SubmitAck(peerAP, g.next(2920))
+	}
+	h.advance(50 * sim.Microsecond)
+	h.indicate(true, false, true)
+	if p := h.llack(true); p != nil {
+		t.Fatalf("window-spanning frame emitted (%d bytes)", len(p))
+	}
+	if h.client.Resyncs != 1 {
+		t.Fatalf("MSN window violation did not resync (resyncs=%d)", h.client.Resyncs)
+	}
+	if h.ap.DecompFailures != 0 {
+		t.Errorf("failures: %d", h.ap.DecompFailures)
+	}
+}
+
 func TestNoMoreDataFlushes(t *testing.T) {
 	// Paper Figure 7: the final batch carries no MORE DATA. Ready ACKs
 	// ride its Block ACK unretained; if that is lost, state is cleared
@@ -439,4 +583,45 @@ func TestSubmitNonAckPanics(t *testing.T) {
 		IP:  packet.IPv4{Protocol: packet.ProtoTCP},
 		TCP: &packet.TCP{Flags: packet.FlagSYN},
 	})
+}
+
+// TestOpportunisticPayloadBudget: opportunistic rides must respect the
+// same MaxPayload budget as the holding modes (the MAC's ACK-timeout
+// allowance is sized to it). Copies beyond the budget keep their
+// native twins queued and ride later — nothing is withdrawn and then
+// dropped.
+func TestOpportunisticPayloadBudget(t *testing.T) {
+	h := newHarness(ModeOpportunistic)
+	h.client.cfg.MaxPayload = 64 // opportunistic copies are ~30 B IRs
+	withdraw := func(dst mac.Addr, p *packet.Packet) bool {
+		for i, q := range h.nativeQueue {
+			if q == p {
+				h.nativeQueue = append(h.nativeQueue[:i], h.nativeQueue[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	h.client.WithdrawNative = withdraw
+	g := &ackGen{ack: 1000}
+	h.client.SubmitAck(peerAP, g.next(2920)) // bootstrap
+	h.deliverNative()
+	for i := 0; i < 6; i++ {
+		h.client.SubmitAck(peerAP, g.next(2920))
+	}
+	h.advance(50 * sim.Microsecond)
+	payload := h.llack(true)
+	if len(payload) == 0 || len(payload) > 64 {
+		t.Fatalf("payload %d bytes, want (0, 64]", len(payload))
+	}
+	// Every ACK that did not ride still has its native copy queued.
+	if len(h.forwarded)+len(h.nativeQueue) != 6 {
+		t.Fatalf("rode %d + native %d, want 6 total", len(h.forwarded), len(h.nativeQueue))
+	}
+	if len(h.nativeQueue) == 0 {
+		t.Fatal("budget did not block anything; test too weak")
+	}
+	if h.ap.DecompFailures != 0 {
+		t.Errorf("failures: %d", h.ap.DecompFailures)
+	}
 }

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -10,10 +11,28 @@ import (
 )
 
 // RateAdapter selects the PHY rate for data frames, per destination,
-// and learns from transmission outcomes. The paper fixes rates per
-// experiment (FixedRate reproduces that); IdealSNR is the oracle the
-// Figure 11 envelope emulates; Minstrel is a practical sampling
-// adapter in the style of Linux's minstrel_ht.
+// and learns from transmission outcomes. Four adapters are built in
+// (ParseAdapterSpec's vocabulary, scenario.WithRateAdapter's axis):
+//
+//	adapter   selection rule                    loss regime it targets           determinism
+//	───────   ───────────────────────────────   ──────────────────────────────   ─────────────────────────
+//	fixed     pin one configured rate           none: the paper's per-           stateless; no RNG
+//	          (FixedRate)                       experiment methodology — the
+//	                                            experiment chooses the regime
+//	ideal     highest rate with FER ≤ 1e-3      negligible loss only: steps      oracle; choice cached per
+//	          per MPDU, from the channel's      down a rate rather than ever     destination; no RNG
+//	          SNR→FER tables (IdealSNR, ns-3    operate lossy (ns-3's rule,
+//	          IdealWifiManager style)           and the historic workaround
+//	                                            for the MORE-DATA collapse)
+//	argmax    argmax over rate of               deliberate ~1% per-MPDU FER      oracle; choice cached per
+//	          rate × (1−FER)^BatchLen           when the rate step pays for      destination; no RNG
+//	          (ExpectedGoodput)                 it: requires the loss-
+//	                                            resilient HACK recovery
+//	                                            (internal/hack state machine)
+//	minstrel  EWMA per-rate delivery probs,     any: learns the live loss        probe schedule drawn from
+//	          throughput ranking, periodic      process from MPDU outcomes       an RNG forked off the
+//	          probes, reliable fallback         instead of assuming a model      station's scheduler; a
+//	          (Minstrel, mac80211 style)                                         fixed seed fixes decisions
 //
 // The MAC calls RateFor once per data PPDU and OnTxResult once per
 // MPDU resolution (delivered, or scheduled for retry/drop), so an
@@ -83,26 +102,35 @@ type IdealSNR struct {
 	choice map[Addr]phy.Rate
 }
 
+// oracleRateFor is the shared skeleton of the SNR-oracle adapters:
+// resolve the per-destination choice once via pick (the oracles'
+// channel models are static), falling back to the highest candidate
+// when the channel has no SNR notion, and cache it.
+func oracleRateFor(rates []phy.Rate, snrFor func(Addr) (float64, bool),
+	choice *map[Addr]phy.Rate, dst Addr, pick func(snrDB float64) phy.Rate) phy.Rate {
+	if r, ok := (*choice)[dst]; ok {
+		return r
+	}
+	if len(rates) == 0 {
+		return phy.Rate{}
+	}
+	best := rates[len(rates)-1]
+	if snrFor != nil {
+		if snr, ok := snrFor(dst); ok {
+			best = pick(snr)
+		}
+	}
+	if *choice == nil {
+		*choice = make(map[Addr]phy.Rate)
+	}
+	(*choice)[dst] = best
+	return best
+}
+
 // RateFor implements RateAdapter. The per-destination choice is
 // computed once and cached — the SNR models are static.
 func (a *IdealSNR) RateFor(dst Addr) phy.Rate {
-	if r, ok := a.choice[dst]; ok {
-		return r
-	}
-	if len(a.Rates) == 0 {
-		return phy.Rate{}
-	}
-	best := a.Rates[len(a.Rates)-1]
-	if a.SNRFor != nil {
-		if snr, ok := a.SNRFor(dst); ok {
-			best = a.pick(snr)
-		}
-	}
-	if a.choice == nil {
-		a.choice = make(map[Addr]phy.Rate)
-	}
-	a.choice[dst] = best
-	return best
+	return oracleRateFor(a.Rates, a.SNRFor, &a.choice, dst, a.pick)
 }
 
 // pick applies the threshold rule at one SNR.
@@ -131,6 +159,75 @@ func (a *IdealSNR) pick(snrDB float64) phy.Rate {
 
 // OnTxResult implements RateAdapter; the oracle does not learn.
 func (*IdealSNR) OnTxResult(Addr, phy.Rate, bool, int) {}
+
+// ExpectedGoodput is the expected-goodput argmax oracle ("argmax"): it
+// knows the channel's SNR like IdealSNR but, instead of thresholding
+// on a negligible FER, picks the rate maximizing
+//
+//	rate × (1 − FER(snr, rate, RefLen))^BatchLen
+//
+// — the expected goodput of a whole link-layer batch. BatchLen models
+// the protocol-level cost of a loss anywhere in an A-MPDU (Block ACK
+// recovery, retransmission airtime, TCP dynamics): with BatchLen 64 a
+// per-MPDU FER of 1% costs the whole batch a factor (0.99)^64 ≈ 0.53,
+// which is what pushes the argmax away from marginal rates that the
+// raw per-MPDU expectation would still favor.
+//
+// This is the adapter the IdealSNR threshold deliberately stood in
+// for while HACK's recovery collapsed in the ~1% per-MPDU FER regime:
+// the argmax intentionally operates there, so it requires the
+// loss-resilient recovery machine (internal/hack) to be worth running.
+// Like IdealSNR it is an oracle — it neither probes nor learns — and
+// falls back to the highest candidate rate when the channel has no
+// SNR notion.
+type ExpectedGoodput struct {
+	// Rates is the candidate set, in increasing-rate order
+	// (phy.RateFamily builds the usual ones).
+	Rates []phy.Rate
+	// SNRFor reports the link SNR toward dst in dB, if the channel has
+	// a notion of SNR (see channel.FindSNRModel).
+	SNRFor func(dst Addr) (snrDB float64, ok bool)
+	// RefLen is the MPDU length used to evaluate the frame error rate
+	// (default 1538, an MSS-sized TCP segment on the air).
+	RefLen int
+	// BatchLen is the batch size the per-MPDU survival probability is
+	// raised to (default 1; aggregated setups use the Block ACK window
+	// — BAWindowSize — since one A-MPDU elicits that many fates at
+	// once).
+	BatchLen int
+
+	choice map[Addr]phy.Rate
+}
+
+// RateFor implements RateAdapter. The per-destination choice is
+// computed once and cached — the SNR models are static.
+func (a *ExpectedGoodput) RateFor(dst Addr) phy.Rate {
+	return oracleRateFor(a.Rates, a.SNRFor, &a.choice, dst, a.pick)
+}
+
+// pick applies the argmax rule at one SNR.
+func (a *ExpectedGoodput) pick(snrDB float64) phy.Rate {
+	refLen := a.RefLen
+	if refLen == 0 {
+		refLen = 1538
+	}
+	batch := a.BatchLen
+	if batch == 0 {
+		batch = 1
+	}
+	best, bestScore := a.Rates[0], -1.0
+	for _, r := range a.Rates {
+		fer := channel.FrameErrorRate(r, snrDB, refLen)
+		score := r.Mbps() * math.Pow(1-fer, float64(batch))
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best
+}
+
+// OnTxResult implements RateAdapter; the oracle does not learn.
+func (*ExpectedGoodput) OnTxResult(Addr, phy.Rate, bool, int) {}
 
 // MinstrelConfig parameterizes a Minstrel adapter. Zero fields take
 // the defaults noted on each field. All intervals are counted in data
@@ -394,6 +491,7 @@ const (
 	AdapterFixed AdapterKind = iota
 	AdapterIdeal
 	AdapterMinstrel
+	AdapterArgmax
 )
 
 func (k AdapterKind) String() string {
@@ -404,6 +502,8 @@ func (k AdapterKind) String() string {
 		return "ideal"
 	case AdapterMinstrel:
 		return "minstrel"
+	case AdapterArgmax:
+		return "argmax"
 	}
 	return fmt.Sprintf("AdapterKind(%d)", int(k))
 }
@@ -420,7 +520,8 @@ type AdapterSpec struct {
 // ParseAdapterSpec parses the scenario-axis vocabulary for rate
 // adaptation: "" or "fixed" (pin the configured rate), "fixed:<rate>"
 // (pin a named rate — see phy.ParseRate for names like "mcs3" or
-// "a54"), "ideal" (the SNR oracle), and "minstrel".
+// "a54"), "ideal" (the negligible-FER threshold oracle), "argmax"
+// (the expected-goodput argmax oracle), and "minstrel".
 func ParseAdapterSpec(s string) (AdapterSpec, error) {
 	switch {
 	case s == "" || s == "fixed":
@@ -429,6 +530,8 @@ func ParseAdapterSpec(s string) (AdapterSpec, error) {
 		return AdapterSpec{Kind: AdapterIdeal}, nil
 	case s == "minstrel":
 		return AdapterSpec{Kind: AdapterMinstrel}, nil
+	case s == "argmax":
+		return AdapterSpec{Kind: AdapterArgmax}, nil
 	case strings.HasPrefix(s, "fixed:"):
 		r, err := phy.ParseRate(strings.TrimPrefix(s, "fixed:"))
 		if err != nil {
@@ -436,5 +539,5 @@ func ParseAdapterSpec(s string) (AdapterSpec, error) {
 		}
 		return AdapterSpec{Kind: AdapterFixed, Rate: r}, nil
 	}
-	return AdapterSpec{}, fmt.Errorf("unknown rate adapter %q (want fixed, fixed:<rate>, ideal, or minstrel)", s)
+	return AdapterSpec{}, fmt.Errorf("unknown rate adapter %q (want fixed, fixed:<rate>, ideal, argmax, or minstrel)", s)
 }

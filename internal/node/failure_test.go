@@ -33,14 +33,11 @@ func TestBurstyLossSyncRecovery(t *testing.T) {
 	if n2.AP.MAC.Stats.BARsSent == 0 {
 		t.Error("bursty loss produced no BAR exchanges; model too gentle")
 	}
-	// Multi-second 90%-loss bursts can poison a ROHC context; the
-	// damage is CRC-caught (never silent), re-ride noise is counted
-	// per parse, and the context heals at the next organic native
-	// (latch-off). Distinct damage events must stay rare and the
-	// transfer must make it through.
-	if n2.AP.Driver.FailCRC > 5 {
-		t.Errorf("distinct CRC damage events: %d, want ≤5", n2.AP.Driver.FailCRC)
-	}
+	// Multi-second 90%-loss bursts exhaust every §3.4 bridge, but the
+	// recovery machine re-anchors (resync + IR refresh) instead of
+	// regenerating from a stale chain — the run must stay
+	// decompression-lossless even here.
+	assertFailuresBounded(t, n2)
 }
 
 // TestUploadUnderLoss exercises the symmetric direction with link
@@ -132,10 +129,7 @@ func TestTimerModeUnderLoss(t *testing.T) {
 	if !f.Done {
 		t.Fatalf("timer-mode lossy transfer incomplete: %d", f.Goodput.Total())
 	}
-	acks := n.Clients[0].Driver.Acct.NativeAcks + n.Clients[0].Driver.Acct.CompressedAcks
-	if fails := n.DecompFailures(); fails > acks/50 {
-		t.Errorf("timer mode failures %d of %d ACKs", fails, acks)
-	}
+	assertFailuresBounded(t, n)
 }
 
 // TestDrasticQueueLimit shrinks the AP queue below one A-MPDU: batches
@@ -153,19 +147,55 @@ func TestDrasticQueueLimit(t *testing.T) {
 	assertFailuresBounded(t, n)
 }
 
-// assertFailuresBounded verifies the §3.4 health property as this
-// reproduction provides it: ROHC decompression failures are transient
-// (CRC-caught drops during loss-recovery phases, healed by the next
-// native re-anchor), never silent corruption, and bounded to a small
-// fraction of the ACK traffic. Steady lossless runs see zero.
+// TestUniformLossRecovery is the regression test for the historical
+// MORE-DATA collapse: on the aggregated 802.11n scenario, 5% uniform
+// frame loss once drove the driver into a BAR give-up spiral whose
+// stale MSN chains produced tens of thousands of ROHC decompression
+// failures (§4.3 demands zero) and, in the worst regimes, ≈0.4 Mbps.
+// With the recovery state machine the run must be decompression-
+// lossless and hold goodput within 2× of the non-aggregated SoRa
+// scenario under the same loss (in practice it is several times
+// faster; SoRa always handled this loss fine).
+func TestUniformLossRecovery(t *testing.T) {
+	run := func(cfg Config) (float64, *Network) {
+		cfg.Err = &channel.FixedLoss{Default: 0.05}
+		n := New(cfg)
+		f := n.StartDownload(0, 0, 0)
+		n.Run(2 * sim.Second)
+		f.Goodput.MarkWindow(n.Sched.Now())
+		n.Run(5 * sim.Second)
+		return f.Goodput.WindowMbps(n.Sched.Now()), n
+	}
+
+	ht, nHT := run(ht150Config(hack.ModeMoreData, 1, 61))
+	if fails := nHT.DecompFailures(); fails != 0 {
+		t.Errorf("ht150 at 5%% loss: %d decompression failures, want 0 (§4.3)", fails)
+	}
+	if ht < 15 {
+		t.Errorf("ht150 at 5%% loss: %.1f Mbps, want ≥ 15 (collapse regression)", ht)
+	}
+
+	sora, nSoRa := run(a54Config(hack.ModeMoreData, 1, 61))
+	if fails := nSoRa.DecompFailures(); fails != 0 {
+		t.Errorf("sora at 5%% loss: %d decompression failures, want 0", fails)
+	}
+	if 2*ht < sora {
+		t.Errorf("ht150 (%.1f Mbps) below half the SoRa equivalent (%.1f Mbps)", ht, sora)
+	}
+}
+
+// assertFailuresBounded verifies the §3.4/§4.3 health property: the
+// recovery state machine keeps regeneration lossless — zero ROHC
+// decompression failures — under every loss process the suite throws
+// at it (the IR refresh re-establishes contexts absolutely whenever a
+// chain reopens, so there is no transient-damage allowance to grant).
 func assertFailuresBounded(t *testing.T, n *Network) {
 	t.Helper()
 	var acks uint64
 	for _, c := range append([]*WifiNode{n.AP}, n.Clients...) {
 		acks += c.Driver.Acct.NativeAcks + c.Driver.Acct.CompressedAcks
 	}
-	limit := uint64(5) + acks/100
-	if fails := n.DecompFailures(); fails > limit {
-		t.Errorf("decompression failures %d of %d ACKs (limit %d)", fails, acks, limit)
+	if fails := n.DecompFailures(); fails != 0 {
+		t.Errorf("decompression failures %d of %d ACKs, want 0", fails, acks)
 	}
 }

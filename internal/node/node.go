@@ -40,10 +40,11 @@ type Config struct {
 	// RateAdapter selects per-station rate adaptation, in
 	// mac.ParseAdapterSpec's vocabulary: "" or "fixed" pins DataRate
 	// (the paper's fixed-rate methodology), "fixed:<rate>" pins a
-	// named rate, "ideal" is the SNR oracle, "minstrel" the sampling
-	// adapter. Every station gets its own adapter instance with
-	// per-network deterministic state. Invalid specs panic in New;
-	// CLIs should pre-validate with mac.ParseAdapterSpec.
+	// named rate, "ideal" is the negligible-FER threshold oracle,
+	// "argmax" the expected-goodput argmax oracle, "minstrel" the
+	// sampling adapter. Every station gets its own adapter instance
+	// with per-network deterministic state. Invalid specs panic in
+	// New; CLIs should pre-validate with mac.ParseAdapterSpec.
 	RateAdapter     string
 	AIFSN           int // 2 = 802.11a DCF, 3 = 802.11n EDCA BE
 	Aggregation     bool
@@ -231,10 +232,13 @@ func New(cfg Config) *Network {
 
 	payloadAllowance := 0
 	if cfg.Mode != hack.ModeOff {
-		// Budget the ACK timeout for the worst-case compressed payload:
-		// the driver caps held ACKs at 128, each ≈6 bytes, plus the
-		// retained unconfirmed batch.
-		payloadAllowance = 1024
+		// Budget the ACK timeout for the worst-case compressed payload.
+		// The driver's frame budget (hack.Config.MaxPayload) is bounded
+		// by this same constant, so a link-layer ACK can never outlast
+		// the response deadline its peer derived from the allowance —
+		// the contract whose violation once drove the MORE-DATA
+		// collapse under uniform loss.
+		payloadAllowance = hack.DefaultMaxPayload
 	}
 	adapterSpec, err := mac.ParseAdapterSpec(cfg.RateAdapter)
 	if err != nil {
@@ -257,6 +261,23 @@ func New(cfg Config) *Network {
 		case mac.AdapterIdeal:
 			return &mac.IdealSNR{
 				Rates: phy.RateFamily(cfg.DataRate),
+				SNRFor: func(dst mac.Addr) (float64, bool) {
+					if snrModel == nil {
+						return 0, false
+					}
+					return snrModel.SNRAt(posOf(self).DistanceTo(posOf(dst))), true
+				},
+			}
+		case mac.AdapterArgmax:
+			batch := 1
+			if cfg.Aggregation {
+				// One A-MPDU elicits a Block ACK window of per-MPDU
+				// fates; the argmax scores whole-batch survival.
+				batch = mac.BAWindowSize
+			}
+			return &mac.ExpectedGoodput{
+				Rates:    phy.RateFamily(cfg.DataRate),
+				BatchLen: batch,
 				SNRFor: func(dst mac.Addr) (float64, bool) {
 					if snrModel == nil {
 						return 0, false

@@ -214,10 +214,7 @@ func TestOpportunisticRuns(t *testing.T) {
 	// fraction of the ACK traffic and must never corrupt (CRC catches
 	// are counted, silent corruption would break TCP, checked by the
 	// transfer completing byte-exactly).
-	acks := n.Clients[0].Driver.Acct.NativeAcks + n.Clients[0].Driver.Acct.CompressedAcks
-	if fails := n.DecompFailures(); fails > acks/25 {
-		t.Errorf("decompression failures %d out of %d ACKs; want <4%%", fails, acks)
-	}
+	assertFailuresBounded(t, n)
 }
 
 func TestTimerModeRuns(t *testing.T) {

@@ -135,7 +135,20 @@ const (
 	optSeqChanged = 0x10 // signed varint SEQ delta follows
 	optSACKShift  = 2    // bits 3:2 hold the SACK block count (0–3)
 	optSACKMask   = 0x0c
+	// optIR marks an IR refresh (RFC 6846's Initialize/Refresh, the
+	// loss-resilience extension to the paper's §3.3.2 "no IR packets"
+	// simplification): every carried field is an absolute value, and
+	// the 15-byte static chain (five-tuple, TTL, TOS) follows the
+	// options byte. An IR re-establishes the decompressor context from
+	// nothing — the first compressed ACK of a flow after any native
+	// re-anchor travels in this form, so chain reopening never depends
+	// on the order in which natives and link-layer ACKs arrive.
+	optIR = 0x02
 )
+
+// irStaticLen is the IR static chain: 4+4 addresses, 2+2 ports,
+// protocol, TTL, TOS.
+const irStaticLen = 15
 
 // context holds the shared compressor/decompressor state for one flow.
 // The two ends evolve their contexts identically because they process
@@ -164,6 +177,12 @@ type context struct {
 	msn     uint8 // compressor: last assigned; decompressor: last delivered
 	started bool  // decompressor: any compressed ACK delivered yet
 	valid   bool  // decompressor: context trusted (cleared on CRC failure)
+	// refreshed (compressor): a native re-anchor was absorbed since the
+	// last compressed ACK, so the decompressor's context state is
+	// unknowable (the native may still be in flight, parked in the
+	// peer's reorder buffer, or lost). The next Compress for the flow
+	// emits an IR refresh, which re-establishes the context absolutely.
+	refreshed bool
 }
 
 // learn updates the stride predictors after an ACK with the given
@@ -205,6 +224,7 @@ func (c *context) absorb(p *packet.Packet) {
 	c.hasTS = t.Opt.HasTimestamps
 	c.tsVal, c.tsEcr = t.Opt.TSVal, t.Opt.TSEcr
 	c.valid = true
+	c.refreshed = true
 	c.ackStride, c.lastAckD = 0, 0
 	c.tsValStride, c.lastTSValD = 0, 0
 	c.tsEcrStride, c.lastTSEcrD = 0, 0
@@ -235,19 +255,64 @@ func NewCompressor() *Compressor {
 // five-tuple (the MD5 in the package-level CID runs once per flow).
 func (c *Compressor) CID(t packet.FiveTuple) byte { return c.cids.cid(t) }
 
+// Invalidate declares the flow's context damaged: Compress refuses
+// the flow (forcing its ACKs onto the native path) until a native ACK
+// is Observed, which re-anchors the context absolutely and re-enables
+// compression through an IR refresh. It is the compressor-side mirror
+// of the decompressor's CRC damage path — the recovery driver itself
+// does not need it on resync (the IR refresh already makes reopening
+// self-contained); it exists so codec-level tooling and tests can
+// force the "regeneration unsafe until a fresh anchor" condition
+// explicitly.
+func (c *Compressor) Invalidate(t packet.FiveTuple) {
+	if ctx, ok := c.contexts[c.cids.cid(t)]; ok && ctx.tuple == t {
+		ctx.valid = false
+	}
+}
+
+// Refresh forces the flow's next compressed ACK into the absolute IR
+// form without distrusting the context. The HACK driver's
+// opportunistic mode uses it for every registered copy: the mode
+// retains nothing across lost link-layer ACKs, so only a
+// self-contained encoding survives arbitrary gaps in what the
+// decompressor has seen.
+func (c *Compressor) Refresh(t packet.FiveTuple) {
+	if ctx, ok := c.contexts[c.cids.cid(t)]; ok && ctx.valid && ctx.tuple == t {
+		ctx.refreshed = true
+	}
+}
+
+// ResyncNeeded reports whether any flow context is invalid — i.e. at
+// least one flow must re-anchor through a native ACK before compressed
+// regeneration is safe again.
+func (c *Compressor) ResyncNeeded() bool {
+	for _, ctx := range c.contexts {
+		if !ctx.valid {
+			return true
+		}
+	}
+	return false
+}
+
 // shouldAbsorb decides whether a natively-travelling ACK re-anchors a
-// context. Both ends apply the same rule to the same packets, keeping
-// their delta references aligned:
+// context. Both ends apply the same rule, and every absorb forces the
+// compressor's next encoding for the flow into the absolute IR form
+// (context.refreshed), so a skipped absorb at one end can never fork
+// the chain:
 //
-//   - a missing or damaged context absorbs (bootstrap / §3.4 healing);
+//   - a missing or damaged context absorbs (bootstrap / §3.4 healing,
+//     and the driver's explicit Invalidate on resync);
 //   - a valid context owned by a different flow (CID collision) never
 //     absorbs — the colliding flow permanently falls back to native
 //     ACKs;
-//   - otherwise absorb if the ACK is at least as new as the chain
-//     state. Equal-state natives (re-sync duplicates) absorb at BOTH
-//     ends — resetting stride predictors symmetrically — while
-//     strictly older copies are skipped at both, so the chain
-//     references can never fork.
+//   - a strictly newer cumulative ACK absorbs;
+//   - an equal cumulative ACK absorbs only when its IP-ID is strictly
+//     newer — a genuinely newer duplicate ACK in a dup-ACK train.
+//     Equal-or-older state (the packet just compressed in
+//     opportunistic mode, or a stale native released late from the
+//     peer's reorder buffer) must NOT re-anchor: regressing the
+//     dynamic fields (IP-ID, timestamps) onto an old duplicate would
+//     poison every later delta against the live chain.
 func (c *context) shouldAbsorb(p *packet.Packet) bool {
 	if !c.valid {
 		return true
@@ -255,12 +320,21 @@ func (c *context) shouldAbsorb(p *packet.Packet) bool {
 	if c.tuple != tupleOf(p) {
 		return false
 	}
-	return int32(p.TCP.Ack-c.ack) >= 0
+	if d := int32(p.TCP.Ack - c.ack); d != 0 {
+		return d > 0
+	}
+	return int16(p.IP.ID-c.ipID) > 0
 }
 
 // Observe records a TCP ACK that is travelling natively so the
 // compression context can re-anchor on it. Call it for every pure ACK
 // sent outside of HACK.
+//
+// Whether or not the native absorbs (a replayed chain tip carries
+// state the context already holds), the flow is flagged for an IR
+// refresh: the peer's decompressor may absorb this native from an
+// older position, so the next compressed ACK must be self-contained
+// rather than a delta the peer might misapply.
 func (c *Compressor) Observe(p *packet.Packet) {
 	if !p.IsTCPAck() {
 		return
@@ -272,7 +346,16 @@ func (c *Compressor) Observe(p *packet.Packet) {
 		c.contexts[cid] = ctx
 	}
 	if !ctx.shouldAbsorb(p) {
+		if ctx.valid && ctx.tuple == tupleOf(p) {
+			ctx.refreshed = true
+		}
+		if debugLog != nil {
+			debugLog("CNAT-SKIP cid=%d native.ack=%d ctx.ack=%d", cid, p.TCP.Ack, ctx.ack)
+		}
 		return
+	}
+	if debugLog != nil {
+		debugLog("CNAT-ABSORB cid=%d native.ack=%d ctx.ack=%d", cid, p.TCP.Ack, ctx.ack)
 	}
 	ctx.absorb(p)
 	// The MSN counter deliberately survives the absorb: it must stay
@@ -327,13 +410,21 @@ func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool
 		return nil, 0, false
 	}
 	t := p.TCP
-	if t.Opt.HasTimestamps != ctx.hasTS {
+	if t.Opt.HasTimestamps != ctx.hasTS && !ctx.refreshed {
 		return nil, 0, false // option shape changed; refresh natively
 	}
 
 	nSACK := len(t.Opt.SACKBlocks)
 	if nSACK > 3 {
 		return nil, 0, false // beyond the encodable range; send natively
+	}
+
+	if ctx.refreshed {
+		// First compressed ACK after a native re-anchor: the
+		// decompressor's context state is unknowable (the anchor may be
+		// parked in the peer's reorder buffer), so emit a
+		// self-contained IR refresh rather than a delta.
+		return c.compressIR(p, ctx, cid)
 	}
 
 	ctx.msn++
@@ -401,6 +492,10 @@ func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool
 		}
 	}
 	buf = append(buf, headerCRC(p, &c.scratch))
+	if debugLog != nil {
+		debugLog("COMP cid=%d msn=%d ack=%d seq=%d win=%d tsv=%d tse=%d ipid=%d sack=%d flags=%x opt=%x",
+			cid, msn, t.Ack, t.Seq, t.Window, t.Opt.TSVal, t.Opt.TSEcr, p.IP.ID, nSACK, flags, opt)
+	}
 
 	// Commit the context only after a successful encode.
 	ctx.seq, ctx.ack = t.Seq, t.Ack
@@ -409,6 +504,93 @@ func (c *Compressor) Compress(p *packet.Packet) (data []byte, msn uint8, ok bool
 	ctx.ipID = p.IP.ID
 	ctx.learn(ackD, tsValD, tsEcrD, ipIDD)
 	return buf, msn, true
+}
+
+// compressIR encodes p as an IR refresh: every field absolute, static
+// chain included, so the decompressor can (re)establish the flow
+// context from the frame alone. The compressor commits the same
+// absolute state (stride predictors reset) that the IR installs at the
+// decompressor, re-synchronizing both ends by construction.
+func (c *Compressor) compressIR(p *packet.Packet, ctx *context, cid byte) (data []byte, msn uint8, ok bool) {
+	t := p.TCP
+	nSACK := len(t.Opt.SACKBlocks)
+	ctx.msn++
+	msn = ctx.msn
+
+	flags := byte(flagExtMSN | flagAckExplicit | flagWinChanged | flagOptExt)
+	opt := byte(optIR) | byte(nSACK)<<optSACKShift | optIPID | optSeqChanged
+	if t.Opt.HasTimestamps {
+		opt |= optTS | optTSExplicit
+	}
+
+	buf := make([]byte, 0, 48)
+	buf = append(buf, cid, flags<<4|msn&0x0f, msn)
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(t.Ack))]...)
+	buf = append(buf, byte(t.Window>>8), byte(t.Window))
+	buf = append(buf, opt)
+	tuple := tupleOf(p)
+	buf = append(buf, tuple.Src[:]...)
+	buf = append(buf, tuple.Dst[:]...)
+	buf = append(buf, byte(tuple.SrcPort>>8), byte(tuple.SrcPort),
+		byte(tuple.DstPort>>8), byte(tuple.DstPort), tuple.Proto,
+		p.IP.TTL, p.IP.TOS)
+	if opt&optTS != 0 {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(t.Opt.TSVal))]...)
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(t.Opt.TSEcr))]...)
+	}
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(p.IP.ID))]...)
+	buf = append(buf, tmp[:binary.PutVarint(tmp[:], int64(t.Seq))]...)
+	for _, blk := range t.Opt.SACKBlocks {
+		rel := blk[0] - t.Ack
+		length := blk[1] - blk[0]
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(rel))]...)
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(length))]...)
+	}
+	buf = append(buf, headerCRC(p, &c.scratch))
+
+	ctx.absorb(p)
+	ctx.refreshed = false
+	return buf, msn, true
+}
+
+// reconstruct builds a pure-ACK packet from absolute header fields —
+// the single reconstruction path both the delta decoder and the IR
+// installer feed into headerCRC, so the two can never diverge on
+// which fields a reconstruction carries. The packet and its TCP
+// header share one allocation (reconstruction is the decompressor's
+// hot path).
+func reconstruct(tuple packet.FiveTuple, tos, ttl byte, ipID uint16,
+	seq, ack uint32, window uint16, hasTS bool, tsVal, tsEcr uint32,
+	sacks [][2]uint32) *packet.Packet {
+	recon := &struct {
+		p packet.Packet
+		t packet.TCP
+	}{
+		p: packet.Packet{
+			IP: packet.IPv4{
+				TOS: tos, TTL: ttl, ID: ipID,
+				Protocol: packet.ProtoTCP,
+				Src:      tuple.Src, Dst: tuple.Dst,
+			},
+		},
+		t: packet.TCP{
+			SrcPort: tuple.SrcPort, DstPort: tuple.DstPort,
+			Seq: seq, Ack: ack, Window: window,
+			Flags: packet.FlagACK,
+		},
+	}
+	p := &recon.p
+	p.TCP = &recon.t
+	if hasTS {
+		p.TCP.Opt.HasTimestamps = true
+		p.TCP.Opt.TSVal, p.TCP.Opt.TSEcr = tsVal, tsEcr
+	}
+	for _, s := range sacks {
+		left := ack + s[0]
+		p.TCP.Opt.SACKBlocks = append(p.TCP.Opt.SACKBlocks, [2]uint32{left, left + s[1]})
+	}
+	return p
 }
 
 // Result reports the outcome of decompressing one HACK frame.
@@ -481,6 +663,30 @@ func (d *Decompressor) Observe(p *packet.Packet) {
 	ctx.absorb(p)
 	ctx.msn = 0
 	ctx.started = false
+}
+
+// Invalidate marks the context for cid as damaged — the decompressor
+// itself calls it on a reconstruction CRC mismatch: compressed delta
+// ACKs for the flow are dropped (counted as context failures) until a
+// native ACK or an IR refresh restores the context. It is exported so
+// drivers and tests can declare damage explicitly and probe it via
+// ResyncNeeded instead of inferring it from failure counters.
+func (d *Decompressor) Invalidate(cid byte) {
+	if ctx := d.contexts[cid]; ctx != nil {
+		ctx.valid = false
+	}
+}
+
+// ResyncNeeded reports whether any flow context is damaged and awaiting
+// a native re-anchor — the §3.4 condition under which compressed ACKs
+// cannot be regenerated and are being dropped.
+func (d *Decompressor) ResyncNeeded() bool {
+	for _, ctx := range d.contexts {
+		if !ctx.valid {
+			return true
+		}
+	}
+	return false
 }
 
 var (
@@ -568,12 +774,28 @@ func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 	ipIDExplicit := false
 	var seqD int64
 	var sacks [][2]uint32 // relative (offset, length) pairs
+	var ir bool
+	var irTuple packet.FiveTuple
+	var irTTL, irTOS byte
 	if flags&flagOptExt != 0 {
 		if i >= len(b) {
 			return 0, errTruncated
 		}
 		opt = b[i]
 		i++
+		if opt&optIR != 0 {
+			ir = true
+			if i+irStaticLen > len(b) {
+				return 0, errTruncated
+			}
+			copy(irTuple.Src[:], b[i:i+4])
+			copy(irTuple.Dst[:], b[i+4:i+8])
+			irTuple.SrcPort = uint16(b[i+8])<<8 | uint16(b[i+9])
+			irTuple.DstPort = uint16(b[i+10])<<8 | uint16(b[i+11])
+			irTuple.Proto = b[i+12]
+			irTTL, irTOS = b[i+13], b[i+14]
+			i += irStaticLen
+		}
 		if opt&optTS != 0 && opt&optTSExplicit != 0 {
 			tsExplicit = true
 			v, n := binary.Uvarint(b[i:])
@@ -630,6 +852,16 @@ func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 	d.prevMSN[cid] = msn
 	d.prevEpoch[cid] = d.epoch
 
+	if ir {
+		return i, d.installIR(irFields{
+			cid: cid, msn: msn, tuple: irTuple, ttl: irTTL, tos: irTOS,
+			ack: uint32(ackD), window: window, hasTS: opt&optTS != 0,
+			tsVal: uint32(tsValD), tsEcr: uint32(tsEcrD),
+			ipID: uint16(ipIDD), seq: uint32(seqD), sacks: sacks,
+			wantCRC: wantCRC,
+		}, ctx, res)
+	}
+
 	if ctx == nil || !ctx.valid {
 		res.Failures++
 		res.FailNoContext++
@@ -654,41 +886,12 @@ func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 	if !ipIDExplicit {
 		ipIDD = uint64(ctx.ipIDStride)
 	}
-	// One combined allocation for the packet and its TCP header (they
-	// share a lifetime; reconstruction is the decompressor's hot path).
-	recon := &struct {
-		p packet.Packet
-		t packet.TCP
-	}{
-		p: packet.Packet{
-			IP: packet.IPv4{
-				TOS: ctx.tos, TTL: ctx.ttl, ID: ctx.ipID + uint16(ipIDD),
-				Protocol: packet.ProtoTCP,
-				Src:      ctx.tuple.Src, Dst: ctx.tuple.Dst,
-			},
-		},
-		t: packet.TCP{
-			SrcPort: ctx.tuple.SrcPort, DstPort: ctx.tuple.DstPort,
-			Seq: ctx.seq + uint32(seqD), Ack: ctx.ack + uint32(ackD),
-			Flags: packet.FlagACK,
-		},
+	if flags&flagWinChanged == 0 {
+		window = ctx.window
 	}
-	p := &recon.p
-	p.TCP = &recon.t
-	if flags&flagWinChanged != 0 {
-		p.TCP.Window = window
-	} else {
-		p.TCP.Window = ctx.window
-	}
-	if opt&optTS != 0 {
-		p.TCP.Opt.HasTimestamps = true
-		p.TCP.Opt.TSVal = ctx.tsVal + uint32(tsValD)
-		p.TCP.Opt.TSEcr = ctx.tsEcr + uint32(tsEcrD)
-	}
-	for _, s := range sacks {
-		left := p.TCP.Ack + s[0]
-		p.TCP.Opt.SACKBlocks = append(p.TCP.Opt.SACKBlocks, [2]uint32{left, left + s[1]})
-	}
+	p := reconstruct(ctx.tuple, ctx.tos, ctx.ttl, ctx.ipID+uint16(ipIDD),
+		ctx.seq+uint32(seqD), ctx.ack+uint32(ackD), window,
+		opt&optTS != 0, ctx.tsVal+uint32(tsValD), ctx.tsEcr+uint32(tsEcrD), sacks)
 
 	if debugLog != nil && headerCRC(p, &d.scratch) != wantCRC {
 		debugLog("CRCFAIL cid=%d msn=%d ctx.ack=%d recon=[ack=%d seq=%d win=%d tsv=%d tse=%d ipid=%d] strides[ack=%d tsv=%d tse=%d ipid=%d] lasts[%d %d %d %d] flags=%x opt=%x started=%v",
@@ -697,10 +900,10 @@ func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 			ctx.lastAckD, ctx.lastTSValD, ctx.lastTSEcrD, ctx.lastIPIDD, flags, opt, ctx.started)
 	}
 	if headerCRC(p, &d.scratch) != wantCRC {
-		// Context damage: reject and distrust until a native refresh
-		// (paper §3.4 — damage must not persist; the flow's next native
-		// ACK restores synchronization).
-		ctx.valid = false
+		// Context damage: reject and distrust until a native or IR
+		// refresh (paper §3.4 — damage must not persist; the flow's
+		// next anchor restores synchronization).
+		d.Invalidate(cid)
 		res.Failures++
 		res.FailCRC++
 		return i, nil
@@ -713,6 +916,82 @@ func (d *Decompressor) one(b []byte, res *Result) (int, error) {
 	ctx.learn(uint32(ackD), uint32(tsValD), uint32(tsEcrD), uint16(ipIDD))
 	ctx.msn = msn
 	ctx.started = true
+	if debugLog != nil {
+		debugLog("DELIV cid=%d msn=%d ack=%d", cid, msn, p.TCP.Ack)
+	}
 	res.Packets = append(res.Packets, p)
 	return i, nil
+}
+
+// irFields carries one parsed IR refresh.
+type irFields struct {
+	cid          byte
+	msn          uint8
+	tuple        packet.FiveTuple
+	ttl, tos     byte
+	ack          uint32
+	window       uint16
+	hasTS        bool
+	tsVal, tsEcr uint32
+	ipID         uint16
+	seq          uint32
+	sacks        [][2]uint32
+	wantCRC      byte
+}
+
+// installIR applies an IR refresh: reconstruct the ACK from the
+// carried absolute values, validate it, and (re)establish the flow
+// context — healing a damaged context and bootstrapping a missing one,
+// with no dependence on any natively-travelling packet.
+func (d *Decompressor) installIR(f irFields, ctx *context, res *Result) error {
+	if d.cids.cid(f.tuple) != f.cid {
+		// The static chain does not hash to the carried CID: the frame
+		// is not self-consistent. Drop the ACK.
+		res.Failures++
+		res.FailNoContext++
+		return nil
+	}
+	if ctx == nil {
+		ctx = &context{}
+		d.contexts[f.cid] = ctx
+	}
+	if ctx.valid && ctx.tuple != f.tuple {
+		// CID collision against a live flow: like the native absorb
+		// rule, never displace it (the colliding flow stays native).
+		res.Failures++
+		res.FailNoContext++
+		return nil
+	}
+	if ctx.valid && ctx.started {
+		// MSN dedup, same window as the delta path; additionally never
+		// regress the cumulative ACK (a stale IR re-ride must not
+		// rewind a context that has moved on).
+		if delta := f.msn - ctx.msn; delta == 0 || delta >= 128 {
+			res.Duplicates++
+			return nil
+		}
+		if int32(f.ack-ctx.ack) < 0 {
+			res.Duplicates++
+			return nil
+		}
+	}
+
+	p := reconstruct(f.tuple, f.tos, f.ttl, f.ipID, f.seq, f.ack, f.window,
+		f.hasTS, f.tsVal, f.tsEcr, f.sacks)
+	if headerCRC(p, &d.scratch) != f.wantCRC {
+		// An IR is self-contained, so a CRC mismatch means the frame
+		// itself is damaged; the context keeps whatever trust it had.
+		res.Failures++
+		res.FailCRC++
+		return nil
+	}
+
+	ctx.absorb(p)
+	ctx.msn = f.msn
+	ctx.started = true
+	if debugLog != nil {
+		debugLog("DELIV-IR cid=%d msn=%d ack=%d", f.cid, f.msn, p.TCP.Ack)
+	}
+	res.Packets = append(res.Packets, p)
+	return nil
 }

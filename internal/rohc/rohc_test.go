@@ -159,6 +159,7 @@ func TestSteadyStateSize(t *testing.T) {
 func TestAnchorForm(t *testing.T) {
 	f := newFlow(false)
 	c, _ := pair(f)
+	c.Compress(f.ackPkt(2920)) // first post-anchor ACK travels as IR
 	data, msn, ok := c.Compress(f.ackPkt(2920))
 	if !ok {
 		t.Fatal("no context")
@@ -388,6 +389,7 @@ func TestStaleNativeDoesNotDesync(t *testing.T) {
 func TestNoContextFailure(t *testing.T) {
 	f := newFlow(false)
 	c, _ := pair(f)
+	c.Compress(f.ackPkt(2920))  // IR form; skip it
 	dFresh := NewDecompressor() // never observed the flow
 	data, _ := compress1(c, f.ackPkt(2920))
 	res, err := dFresh.Decompress(data)
@@ -396,6 +398,68 @@ func TestNoContextFailure(t *testing.T) {
 	}
 	if len(res.Packets) != 0 || res.Failures != 1 {
 		t.Errorf("packets=%d failures=%d, want 0/1", len(res.Packets), res.Failures)
+	}
+}
+
+// TestIRBootstrapsFreshDecompressor covers the loss-resilience
+// extension: the first compressed ACK after a native re-anchor is a
+// self-contained IR refresh, so a decompressor that never saw any
+// native (the re-anchor may be parked in a reorder buffer or lost)
+// still reconstructs it and establishes the context for the deltas
+// that follow.
+func TestIRBootstrapsFreshDecompressor(t *testing.T) {
+	f := newFlow(true)
+	c, _ := pair(f)
+	dFresh := NewDecompressor() // never observed the flow
+	orig := f.ackPkt(2920)
+	ir, _ := compress1(c, orig)
+	res, err := dFresh.Decompress(ir)
+	if err != nil || len(res.Packets) != 1 || res.Failures != 0 {
+		t.Fatalf("IR bootstrap: err=%v packets=%d failures=%d", err, len(res.Packets), res.Failures)
+	}
+	if !sameHeader(orig, res.Packets[0]) {
+		t.Error("IR reconstruction differs from original")
+	}
+	// The context the IR established carries the deltas that follow.
+	next := f.ackPkt(2920)
+	data, _ := compress1(c, next)
+	res, err = dFresh.Decompress(data)
+	if err != nil || len(res.Packets) != 1 || res.Failures != 0 {
+		t.Fatalf("delta after IR: err=%v packets=%d failures=%d", err, len(res.Packets), res.Failures)
+	}
+	if !sameHeader(next, res.Packets[0]) {
+		t.Error("delta reconstruction differs after IR bootstrap")
+	}
+}
+
+// TestIRDedupAndNoRegression: a retained IR re-ridden after delivery
+// dedups by MSN, and a stale IR can never rewind an advanced context.
+func TestIRDedupAndNoRegression(t *testing.T) {
+	f := newFlow(false)
+	c, d := pair(f)
+	ir, _ := compress1(c, f.ackPkt(2920))
+	if res, _ := d.Decompress(ir); len(res.Packets) != 1 {
+		t.Fatal("IR not delivered")
+	}
+	// Deltas advance the context past the IR.
+	for i := 0; i < 3; i++ {
+		data, _ := compress1(c, f.ackPkt(2920))
+		if res, _ := d.Decompress(data); len(res.Packets) != 1 {
+			t.Fatalf("delta %d not delivered", i)
+		}
+	}
+	// The same IR bytes again (a §3.4 re-ride): duplicate, no failure,
+	// and the context still decodes fresh deltas.
+	res, err := d.Decompress(ir)
+	if err != nil || res.Duplicates != 1 || res.Failures != 0 || len(res.Packets) != 0 {
+		t.Fatalf("IR re-ride: err=%v dups=%d failures=%d packets=%d",
+			err, res.Duplicates, res.Failures, len(res.Packets))
+	}
+	next := f.ackPkt(2920)
+	data, _ := compress1(c, next)
+	r2, _ := d.Decompress(data)
+	if len(r2.Packets) != 1 || !sameHeader(next, r2.Packets[0]) {
+		t.Fatal("context damaged by IR re-ride")
 	}
 }
 
@@ -509,6 +573,9 @@ func TestMissingAnchorIsFailureNotCorruption(t *testing.T) {
 	// bug) must count as a failure, never deliver wrong content.
 	f := newFlow(false)
 	c, d := pair(f)
+	if ir, _ := compress1(c, f.ackPkt(2920)); len(ir) > 0 {
+		d.Decompress(ir) // consume the IR so the next form is compact
+	}
 	orig := f.ackPkt(2920)
 	data, _, ok := c.Compress(orig) // compact, never anchored
 	if !ok {
@@ -673,5 +740,64 @@ func BenchmarkDecompress(b *testing.B) {
 		if _, err := d.Decompress(frames[i%len(frames)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDamageSurface exercises the explicit context-damage API: an
+// invalidated compressor context refuses the flow until a native
+// re-anchor; an invalidated decompressor context drops deltas (counted,
+// ResyncNeeded reports it) until an IR refresh heals it.
+func TestDamageSurface(t *testing.T) {
+	f := newFlow(false)
+	c, d := pair(f)
+	ir, _ := compress1(c, f.ackPkt(2920))
+	if res, _ := d.Decompress(ir); len(res.Packets) != 1 {
+		t.Fatal("setup: IR not delivered")
+	}
+
+	// Compressor side: declared damage forces the native path.
+	c.Invalidate(f.tuple)
+	if !c.ResyncNeeded() {
+		t.Error("compressor ResyncNeeded false after Invalidate")
+	}
+	if _, _, ok := c.Compress(f.ackPkt(2920)); ok {
+		t.Fatal("invalidated context still compresses")
+	}
+	native := f.ackPkt(2920)
+	c.Observe(native) // the native re-anchor heals it...
+	d.Observe(native)
+	if c.ResyncNeeded() {
+		t.Error("compressor ResyncNeeded true after native re-anchor")
+	}
+	data, ok := compress1(c, f.ackPkt(2920)) // ...and the next ACK is an IR
+	if !ok {
+		t.Fatal("healed context refuses to compress")
+	}
+	if res, _ := d.Decompress(data); len(res.Packets) != 1 {
+		t.Fatal("post-heal IR not delivered")
+	}
+
+	// Decompressor side: declared damage drops deltas until an IR.
+	d.Invalidate(CID(f.tuple))
+	if !d.ResyncNeeded() {
+		t.Error("decompressor ResyncNeeded false after Invalidate")
+	}
+	delta, _ := compress1(c, f.ackPkt(2920))
+	res, _ := d.Decompress(delta)
+	if res.FailNoContext != 1 || len(res.Packets) != 0 {
+		t.Fatalf("damaged context accepted a delta: failures=%d packets=%d",
+			res.FailNoContext, len(res.Packets))
+	}
+	// The compressor cannot see the peer's damage; in the driver the
+	// resulting native/IR traffic heals it. Here: force an IR.
+	c.Refresh(f.tuple)
+	heal := f.ackPkt(2920)
+	irData, _ := compress1(c, heal)
+	res, _ = d.Decompress(irData)
+	if len(res.Packets) != 1 || !sameHeader(heal, res.Packets[0]) {
+		t.Fatal("IR did not heal the damaged decompressor context")
+	}
+	if d.ResyncNeeded() {
+		t.Error("decompressor ResyncNeeded true after IR heal")
 	}
 }

@@ -93,8 +93,11 @@ func WithAckRate(r phy.Rate) Option {
 
 // WithRateAdapter selects per-station rate adaptation by spec:
 // "fixed" (pin the scenario's data rate — the default), "fixed:<rate>"
-// (pin a named rate, e.g. "fixed:mcs3"), "ideal" (oracle from the
-// channel's SNR→rate tables), or "minstrel" (sampling adapter).
+// (pin a named rate, e.g. "fixed:mcs3"), "ideal" (negligible-FER
+// threshold oracle from the channel's SNR→rate tables), "argmax"
+// (expected-goodput argmax oracle over the same tables — the regime
+// that needs the loss-resilient HACK recovery), or "minstrel"
+// (sampling adapter).
 // Invalid specs panic when the network is assembled; CLIs should
 // pre-validate with mac.ParseAdapterSpec.
 func WithRateAdapter(spec string) Option {
@@ -297,7 +300,7 @@ func init() {
 		suffix string
 		mode   hack.Mode
 	}{{"stock", hack.ModeOff}, {"moredata", hack.ModeMoreData}} {
-		for _, a := range []string{"minstrel", "ideal"} {
+		for _, a := range []string{"minstrel", "ideal", "argmax"} {
 			Register(
 				fmt.Sprintf("ht150-%s-%s", m.suffix, a),
 				fmt.Sprintf("802.11n with %s rate adaptation, HACK mode %v", a, m.mode),

@@ -355,7 +355,14 @@ var (
 	Table2          = experiments.Table2
 	Table3          = experiments.Table3
 	CrossValidation = experiments.CrossValidation
+	// LossResilience runs the loss × mode × adapter grid that
+	// exercises the HACK recovery state machine under uniform frame
+	// loss (every cell must report zero ROHC decompression failures).
+	LossResilience = experiments.LossResilience
 )
+
+// LossResilienceRow is one cell of the loss-resilience grid.
+type LossResilienceRow = experiments.LossResilienceRow
 
 // AnalyticalDefaults returns the paper's capacity-model parameters.
 func AnalyticalDefaults() AnalyticalParams { return analytical.Defaults() }
