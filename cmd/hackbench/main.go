@@ -75,6 +75,18 @@ func main() {
 	progress := flag.Bool("progress", false, "report sweep progress (rows completed / total) on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
+	serve := flag.String("serve", "", "run the campaign daemon on this address (e.g. 127.0.0.1:8077)")
+	stateDir := flag.String("state", "", "with -serve: jobs + memoization directory (empty = in-memory); with -dry-run: the store to probe for expected hits")
+	leaseTTL := flag.Duration("lease", 30*time.Second, "with -serve: shard lease TTL before an unheartbeated shard is re-queued")
+	shardSize := flag.Int("shard", 0, "grid points per distributed shard (0 = server default)")
+	workerURL := flag.String("worker", "", "run a shard worker against this daemon URL")
+	workerName := flag.String("worker-name", "", "with -worker: worker name for leases and liveness (default host-pid)")
+	server := flag.String("server", "", "daemon URL for -submit and -status")
+	submit := flag.Bool("submit", false, "submit the -sweep campaign to -server instead of running it locally")
+	wait := flag.Bool("wait", false, "with -submit: wait for completion and emit the merged rows per -format")
+	minCached := flag.Float64("min-cached", 0, "with -submit -wait: exit 1 unless at least this fraction of grid points was served from the memoization store")
+	status := flag.String("status", "", "with -server: print a job's status as JSON ('all' lists every job, 'metrics' prints the daemon snapshot)")
+	dryRun := flag.Bool("dry-run", false, "with -sweep: print the planned grid with per-point fingerprints and expected cache hits, without simulating")
 	flag.Parse()
 
 	// Flag values consumed deep inside the run are validated before
@@ -128,6 +140,24 @@ func main() {
 		Workers: *workers,
 	}
 
+	// Distributed modes run before (and instead of) the local figure
+	// and sweep paths; all of them funnel through exit.
+	finish := func(code int, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+		exit(code)
+	}
+	switch {
+	case *serve != "":
+		finish(runServe(*serve, *stateDir, *leaseTTL, *shardSize))
+	case *workerURL != "":
+		finish(runWorker(*workerURL, *workerName))
+	case *status != "":
+		finish(runStatus(*server, *status))
+	}
+
 	if *sweep != "" {
 		sw := sweepConfig{
 			scenario: *sweep,
@@ -137,6 +167,12 @@ func main() {
 			saveBaseline: *saveBaseline, baseline: *baseline,
 			groupBy: *groupBy, tol: *tolFlag,
 			progress: *progress,
+		}
+		switch {
+		case *dryRun:
+			finish(runDryRun(sw, o, *stateDir, *shardSize))
+		case *submit:
+			finish(runSubmit(sw, o, *server, *shardSize, *wait, *minCached))
 		}
 		code, err := runSweep(sw, o)
 		if err != nil {
@@ -267,8 +303,13 @@ func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
 			}
 		}
 	}
-	results := tcphack.RunCampaign(spec)
+	return emitAndCompare(sw, tcphack.RunCampaign(spec))
+}
 
+// emitAndCompare writes a sweep's rows in sw.format and runs the
+// baseline workflow when requested — shared by local sweeps and
+// distributed -submit -wait so both emit byte-identical output.
+func emitAndCompare(sw sweepConfig, results tcphack.CampaignResults) (int, error) {
 	switch sw.format {
 	case "json":
 		if err := results.WriteJSON(os.Stdout); err != nil {

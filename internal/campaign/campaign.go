@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"tcphack/internal/hack"
@@ -64,6 +65,24 @@ type Point struct {
 	sweepRate, sweepAdapter, sweepLoss, sweepSNR bool
 }
 
+// AxisValues returns the point's axis values as canonical strings,
+// keyed by the results-layer axis column names ("mode", "clients",
+// "seed", "rate_kbps", "adapter", "loss_pct", "snr_db"). Numeric
+// values use the shortest round-tripping decimal form — the same
+// canonicalization as results.Num — so the map can key group lookups
+// and content-addressed fingerprints interchangeably.
+func (pt Point) AxisValues() map[string]string {
+	return map[string]string{
+		"mode":      pt.Mode.String(),
+		"clients":   strconv.Itoa(pt.Clients),
+		"seed":      strconv.FormatInt(pt.Seed, 10),
+		"rate_kbps": strconv.Itoa(pt.Rate.Kbps),
+		"adapter":   pt.Adapter,
+		"loss_pct":  strconv.FormatFloat(pt.LossPct, 'f', -1, 64),
+		"snr_db":    strconv.FormatFloat(pt.SNRdB, 'f', -1, 64),
+	}
+}
+
 // Spec declares one campaign.
 type Spec struct {
 	// Name labels the campaign's result rows.
@@ -98,10 +117,12 @@ type Spec struct {
 	// emitted with Skipped set and zero metrics.
 	Skip func(pt Point) bool
 	// Progress, when set, is called after each grid point finishes
-	// (including skipped points) with the number of completed points
-	// and the grid total. Calls are serialized and done is strictly
-	// increasing from 1 to total, so the callback can drive live
-	// reporting without its own locking.
+	// (including skipped points, and — under cancellation — points
+	// that never ran and come back as Skipped rows) with the number of
+	// completed points and the grid total. Calls are serialized and
+	// done is strictly increasing from 1 to total, never exceeding
+	// total, so the callback can drive live reporting without its own
+	// locking.
 	Progress func(done, total int)
 }
 
@@ -322,15 +343,26 @@ func RunContext(ctx context.Context, s Spec) (Results, error) {
 	results := make(Results, len(pts))
 	ran := make([]bool, len(pts))
 
+	// done counts finished rows; reported is the highest count already
+	// delivered to the callback. Reporting only strictly increasing
+	// values clamped to the grid size keeps the callback's contract
+	// (monotonic, never past total) even when rows error out under
+	// cancellation and the unrun tail is accounted separately below.
 	var progressMu sync.Mutex
-	done := 0
+	done, reported := 0, 0
 	finished := func() {
 		if s.Progress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		s.Progress(done, len(pts))
+		if n := len(pts); done > n {
+			done = n
+		}
+		if done > reported {
+			reported = done
+			s.Progress(done, len(pts))
+		}
 		progressMu.Unlock()
 	}
 
@@ -368,6 +400,7 @@ feed:
 				ModeName: pts[i].Mode.String(), RateKbps: pts[i].Rate.Kbps,
 				Skipped: true,
 			}
+			finished()
 		}
 	}
 	return results, ctx.Err()

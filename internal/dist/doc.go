@@ -1,0 +1,51 @@
+// Package dist is the campaign-as-a-service layer: it executes sweep
+// grids across processes and machines while preserving, bit for bit,
+// the output contract of a serial in-process campaign.Run.
+//
+// A Server (hackbench -serve) owns a queue of jobs, each a
+// campaign.WireSpec — a registered scenario plus wire-form axes —
+// planned into shards of grid-point indexes. Workers (hackbench
+// -worker <url>) lease shards over HTTP/JSON, simulate them with
+// campaign.RunPoints, and stream the result rows back; the server
+// merges rows by grid index through results.Merge and serves the
+// completed job in campaign.Results form. A submit client (hackbench
+// -submit) posts specs and fetches rows.
+//
+// # Determinism contract
+//
+// Every grid point is an independent, seed-deterministic simulation,
+// so a job's merged output is byte-identical to campaign.Run executed
+// serially in one process — regardless of worker count, shard size,
+// lease churn, retries, duplicate deliveries, or how many points were
+// served from the memoization store. The contract holds only across
+// processes running the same build: results.CodeVersion salts every
+// memoization key, and results.Merge rejects conflicting duplicate
+// rows, so a version skew between workers surfaces as an explicit
+// merge error rather than silently mixed output.
+//
+// # At-least-once lease contract
+//
+// Shards are leased, not assigned: a lease grants one worker the right
+// to simulate a shard until the lease expires. Workers heartbeat to
+// keep long shards alive; a lease that expires (worker crash, network
+// partition, missed heartbeats) is re-queued exactly once per expiry
+// and handed to the next worker that asks. A shard may therefore be
+// simulated more than once — at-least-once execution — which is safe
+// precisely because of the determinism contract: duplicate completions
+// carry identical rows and the server accepts them idempotently
+// (first delivery wins, later deliveries are acknowledged and
+// discarded). What is never possible is a shard completing with rows
+// from two different simulations.
+//
+// # Checkpoint/resume and memoization
+//
+// Every completed row is persisted into a content-addressed Store
+// keyed by its point fingerprint (results.PointFingerprint over
+// campaign.WireSpec.FingerprintFields plus the code-version salt)
+// before the shard is acknowledged. The store is therefore both the
+// checkpoint and the cache: a daemon restarted over the same state
+// directory re-plans its persisted job specs and finds the completed
+// points in the store, so only the remaining shards are re-queued; a
+// re-submitted or overlapping sweep is served from the store for every
+// grid point whose fingerprint matches, simulating only what changed.
+package dist

@@ -1,0 +1,694 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tcphack/internal/campaign"
+	"tcphack/internal/results"
+)
+
+// ServerConfig parameterizes a daemon.
+type ServerConfig struct {
+	// StateDir is the persistence root: StateDir/cache holds the
+	// memoization store, StateDir/jobs the submitted specs, and a
+	// daemon restarted over the same directory resumes its jobs.
+	// Empty runs memory-only (no resume, in-process cache only).
+	StateDir string
+	// Store overrides the memoization backend (default: a DirStore
+	// under StateDir/cache, or a MemStore when StateDir is empty).
+	Store Store
+	// Salt is the code-version salt folded into every fingerprint
+	// (default results.CodeVersion).
+	Salt string
+	// LeaseTTL is how long a shard lease lives without a heartbeat
+	// (default 30 s).
+	LeaseTTL time.Duration
+	// ShardSize is the default grid points per shard for submits that
+	// do not choose (default DefaultShardSize).
+	ShardSize int
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+// Lease states a shard moves through; a lease expiry moves a shard
+// back from shardLeased to shardPending (re-queue).
+const (
+	shardPending = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one lease unit: a chunk of uncached grid-point indexes.
+type shard struct {
+	id      int
+	indexes []int
+	state   int
+	worker  string
+	expiry  time.Time
+	// requeues counts lease expiries — the at-least-once audit trail.
+	requeues int
+}
+
+// job is one submitted campaign and its execution state.
+type job struct {
+	id        string
+	wire      campaign.WireSpec
+	shardSize int
+	spec      campaign.Spec
+	points    []campaign.Point
+	fps       []string
+	rows      []campaign.Result
+	have      []bool
+	shards    []*shard
+	created   time.Time
+
+	cachedPoints int
+	simRows      int
+	lastRow      time.Time
+}
+
+// done reports whether every shard completed.
+func (j *job) done() bool {
+	for _, sh := range j.shards {
+		if sh.state != shardDone {
+			return false
+		}
+	}
+	return true
+}
+
+// JobStatus is one job's externally visible state — what GET /jobs,
+// GET /jobs/{id}, and the /metrics endpoint report.
+type JobStatus struct {
+	// ID is the job identifier ("j1", "j2", ...).
+	ID string `json:"id"`
+	// Campaign is the result-row label; Scenario the registry name.
+	Campaign string `json:"campaign"`
+	Scenario string `json:"scenario"`
+	// State is "running" or "done".
+	State string `json:"state"`
+	// TotalPoints is the grid size; CachedPoints how many were served
+	// from the memoization store at admission; DoneRows how many rows
+	// exist so far (cached + simulated).
+	TotalPoints  int `json:"total_points"`
+	CachedPoints int `json:"cached_points"`
+	DoneRows     int `json:"done_rows"`
+	// Shard accounting: done + inflight (leased) + pending = total.
+	ShardsTotal    int `json:"shards_total"`
+	ShardsDone     int `json:"shards_done"`
+	ShardsInflight int `json:"shards_inflight"`
+	ShardsPending  int `json:"shards_pending"`
+	// Requeues counts lease expiries across the job's shards.
+	Requeues int `json:"requeues"`
+	// RowsPerSec is the simulated-row completion rate (cached rows
+	// excluded) since submission; 0 until the first row lands.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// Created is the submission time.
+	Created time.Time `json:"created"`
+}
+
+// WorkerStatus is one worker's liveness as seen by the server.
+type WorkerStatus struct {
+	// LastSeen is the worker's most recent lease/heartbeat/complete.
+	LastSeen time.Time `json:"last_seen"`
+	// Live reports recent contact (within two lease TTLs).
+	Live bool `json:"live"`
+}
+
+// Metrics is the /metrics endpoint's payload: per-job progress plus
+// worker liveness.
+type Metrics struct {
+	// Jobs lists every job's status in submission order.
+	Jobs []JobStatus `json:"jobs"`
+	// Workers maps worker names to their liveness.
+	Workers map[string]WorkerStatus `json:"workers"`
+}
+
+// Server is the campaign-as-a-service daemon: job admission, the
+// shard lease queue, row merging, and the memoization store, exposed
+// over an HTTP/JSON API (Handler). See the package documentation for
+// the determinism and at-least-once contracts.
+type Server struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // job IDs in submission order
+	seq     int
+	workers map[string]time.Time
+}
+
+// jobRecord is the persisted submission (StateDir/jobs/<id>.json).
+type jobRecord struct {
+	// ID, Spec, and ShardSize replay the submission on daemon restart;
+	// Created preserves the original submission time.
+	ID        string            `json:"id"`
+	Spec      campaign.WireSpec `json:"spec"`
+	ShardSize int               `json:"shard_size"`
+	Created   time.Time         `json:"created"`
+}
+
+// NewServer assembles a daemon and, when the config names a state
+// directory, resumes every persisted job: each spec is re-planned
+// against the store, so points whose rows were already persisted come
+// back as cache hits and only the remaining shards are queued.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Salt == "" {
+		cfg.Salt = results.CodeVersion
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Store == nil {
+		if cfg.StateDir == "" {
+			cfg.Store = NewMemStore()
+		} else {
+			store, err := NewDirStore(filepath.Join(cfg.StateDir, "cache"))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Store = store
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		jobs:    map[string]*job{},
+		workers: map[string]time.Time{},
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.resume(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// resume reloads persisted job records and re-plans them against the
+// (now possibly fuller) store.
+func (s *Server) resume() error {
+	dir := filepath.Join(s.cfg.StateDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var recs []jobRecord
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("dist: corrupt job record %s: %v", e.Name(), err)
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return jobSeq(recs[i].ID) < jobSeq(recs[j].ID) })
+	for _, rec := range recs {
+		j, err := s.buildJob(rec)
+		if err != nil {
+			return fmt.Errorf("dist: resuming job %s: %v", rec.ID, err)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if n := jobSeq(j.id); n > s.seq {
+			s.seq = n
+		}
+	}
+	return nil
+}
+
+// jobSeq extracts the numeric part of a job ID ("j7" → 7; 0 when
+// malformed).
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}
+
+// buildJob plans a submission into an executable job.
+func (s *Server) buildJob(rec jobRecord) (*job, error) {
+	plan, err := NewPlan(rec.Spec, s.cfg.Store, s.cfg.Salt, rec.ShardSize)
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id:        rec.ID,
+		wire:      rec.Spec,
+		shardSize: rec.ShardSize,
+		spec:      plan.Spec,
+		created:   rec.Created,
+		rows:      make([]campaign.Result, len(plan.Points)),
+		have:      make([]bool, len(plan.Points)),
+	}
+	for _, pp := range plan.Points {
+		j.points = append(j.points, pp.Point)
+		j.fps = append(j.fps, pp.Fingerprint)
+		if pp.Cached {
+			j.rows[pp.Index] = *pp.Result
+			j.have[pp.Index] = true
+			j.cachedPoints++
+		}
+	}
+	for i, idxs := range plan.Shards {
+		j.shards = append(j.shards, &shard{id: i, indexes: idxs})
+	}
+	return j, nil
+}
+
+// Submit admits a spec as a new job (shardSize ≤ 0 uses the server
+// default) and returns its status. A spec whose every point is already
+// in the store is born done — the repeated-sweep fast path.
+func (s *Server) Submit(spec campaign.WireSpec, shardSize int) (JobStatus, error) {
+	if shardSize <= 0 {
+		shardSize = s.cfg.ShardSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := jobRecord{
+		ID:        fmt.Sprintf("j%d", s.seq+1),
+		Spec:      spec,
+		ShardSize: shardSize,
+		Created:   s.cfg.Now().UTC(),
+	}
+	j, err := s.buildJob(rec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if s.cfg.StateDir != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return JobStatus{}, err
+		}
+		path := filepath.Join(s.cfg.StateDir, "jobs", rec.ID+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return JobStatus{}, err
+		}
+	}
+	s.seq++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return s.statusLocked(j), nil
+}
+
+// statusLocked snapshots one job's status (caller holds s.mu).
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:           j.id,
+		Campaign:     j.spec.Name,
+		Scenario:     j.wire.Scenario,
+		State:        "running",
+		TotalPoints:  len(j.points),
+		CachedPoints: j.cachedPoints,
+		ShardsTotal:  len(j.shards),
+		Created:      j.created,
+	}
+	for _, have := range j.have {
+		if have {
+			st.DoneRows++
+		}
+	}
+	for _, sh := range j.shards {
+		st.Requeues += sh.requeues
+		switch sh.state {
+		case shardPending:
+			st.ShardsPending++
+		case shardLeased:
+			st.ShardsInflight++
+		case shardDone:
+			st.ShardsDone++
+		}
+	}
+	if j.done() {
+		st.State = "done"
+	}
+	if j.simRows > 0 && j.lastRow.After(j.created) {
+		st.RowsPerSec = float64(j.simRows) / j.lastRow.Sub(j.created).Seconds()
+	}
+	return st
+}
+
+// expireLocked re-queues every lease the clock has outrun (caller
+// holds s.mu). Each expiry is one requeue: the shard returns to the
+// pending queue and the next lease hands it out again.
+func (s *Server) expireLocked(now time.Time) {
+	for _, id := range s.order {
+		for _, sh := range s.jobs[id].shards {
+			if sh.state == shardLeased && now.After(sh.expiry) {
+				sh.state = shardPending
+				sh.worker = ""
+				sh.requeues++
+			}
+		}
+	}
+}
+
+// touchLocked records worker contact for the liveness metrics.
+func (s *Server) touchLocked(worker string, now time.Time) {
+	if worker != "" {
+		s.workers[worker] = now
+	}
+}
+
+// LeaseGrant is the server's answer to a lease request: one shard of
+// one job, the spec to materialize it from, and the lease terms.
+type LeaseGrant struct {
+	// Job and Shard identify the lease; echo them in heartbeats and
+	// the completion.
+	Job   string `json:"job"`
+	Shard int    `json:"shard"`
+	// Spec is the job's wire spec — workers are stateless.
+	Spec campaign.WireSpec `json:"spec"`
+	// Indexes are the grid points to simulate, in campaign Points()
+	// order.
+	Indexes []int `json:"indexes"`
+	// TTLMillis is the lease lifetime; heartbeat well within it.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// lease hands the oldest pending shard to a worker (ok=false when no
+// work is pending).
+func (s *Server) lease(worker string) (LeaseGrant, bool) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.touchLocked(worker, now)
+	for _, id := range s.order {
+		j := s.jobs[id]
+		for _, sh := range j.shards {
+			if sh.state != shardPending {
+				continue
+			}
+			sh.state = shardLeased
+			sh.worker = worker
+			sh.expiry = now.Add(s.cfg.LeaseTTL)
+			return LeaseGrant{
+				Job:       j.id,
+				Shard:     sh.id,
+				Spec:      j.wire,
+				Indexes:   append([]int{}, sh.indexes...),
+				TTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+			}, true
+		}
+	}
+	return LeaseGrant{}, false
+}
+
+// heartbeat extends a lease the worker still holds; renewed=false
+// tells the worker its lease was lost (expired and possibly
+// re-leased), so its eventual completion may be a duplicate.
+func (s *Server) heartbeat(worker, jobID string, shardID int) (renewed bool, err error) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.touchLocked(worker, now)
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return false, fmt.Errorf("dist: unknown job %q", jobID)
+	}
+	if shardID < 0 || shardID >= len(j.shards) {
+		return false, fmt.Errorf("dist: job %s has no shard %d", jobID, shardID)
+	}
+	sh := j.shards[shardID]
+	if sh.state != shardLeased || sh.worker != worker {
+		return false, nil
+	}
+	sh.expiry = now.Add(s.cfg.LeaseTTL)
+	return true, nil
+}
+
+// complete accepts a shard's rows. Duplicate deliveries (a worker that
+// lost its lease and finished anyway) are acknowledged idempotently:
+// the first delivery's rows stand — identical by the determinism
+// contract — and duplicate=true tells the worker. Rows are persisted
+// to the memoization store before the shard is acknowledged, so a
+// daemon crash after an ack can always resume from the store.
+func (s *Server) complete(worker, jobID string, shardID int, rows campaign.Results) (duplicate bool, err error) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.touchLocked(worker, now)
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return false, fmt.Errorf("dist: unknown job %q", jobID)
+	}
+	if shardID < 0 || shardID >= len(j.shards) {
+		return false, fmt.Errorf("dist: job %s has no shard %d", jobID, shardID)
+	}
+	sh := j.shards[shardID]
+	if sh.state == shardDone {
+		return true, nil
+	}
+	if len(rows) != len(sh.indexes) {
+		return false, fmt.Errorf("dist: job %s shard %d: %d rows for %d points",
+			jobID, shardID, len(rows), len(sh.indexes))
+	}
+	inShard := map[int]bool{}
+	for _, i := range sh.indexes {
+		inShard[i] = true
+	}
+	// Canonicalize before storing: the wire trip drops the Point's
+	// unexported sweep flags, and the label/index fields are job-local
+	// (rehydrate's contract), so rebuild them from the job's own grid.
+	seen := map[int]bool{}
+	for i := range rows {
+		r := &rows[i]
+		if !inShard[r.Index] {
+			return false, fmt.Errorf("dist: job %s shard %d: row index %d not in shard",
+				jobID, shardID, r.Index)
+		}
+		if seen[r.Index] {
+			return false, fmt.Errorf("dist: job %s shard %d: row index %d delivered twice",
+				jobID, shardID, r.Index)
+		}
+		seen[r.Index] = true
+		rehydrate(r, j.spec.Name, j.points[r.Index])
+		if err := s.cfg.Store.Put(j.fps[r.Index], *r); err != nil {
+			return false, fmt.Errorf("dist: persisting row %d: %v", r.Index, err)
+		}
+	}
+	for _, r := range rows {
+		j.rows[r.Index] = r
+		j.have[r.Index] = true
+	}
+	j.simRows += len(rows)
+	j.lastRow = now
+	sh.state = shardDone
+	sh.worker = worker
+	return false, nil
+}
+
+// Rows returns a completed job's merged rows — byte-identical, through
+// the campaign emitters, to a serial campaign.Run of the same spec.
+// For a running job it errors unless partial is set, in which case the
+// completed rows are returned as-is (missing points absent, not
+// zero-filled).
+func (s *Server) Rows(jobID string, partial bool) (campaign.Results, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown job %q", jobID)
+	}
+	if !j.done() {
+		if !partial {
+			return nil, fmt.Errorf("dist: job %s still running", jobID)
+		}
+		var out campaign.Results
+		for i, have := range j.have {
+			if have {
+				out = append(out, j.rows[i])
+			}
+		}
+		return out, nil
+	}
+	return results.Merge(len(j.points), j.rows)
+}
+
+// Status returns one job's status.
+func (s *Server) Status(jobID string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Now())
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("dist: unknown job %q", jobID)
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.cfg.Now())
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// MetricsSnapshot returns the /metrics payload.
+func (s *Server) MetricsSnapshot() Metrics {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	m := Metrics{Workers: map[string]WorkerStatus{}}
+	for _, id := range s.order {
+		m.Jobs = append(m.Jobs, s.statusLocked(s.jobs[id]))
+	}
+	for w, seen := range s.workers {
+		m.Workers[w] = WorkerStatus{
+			LastSeen: seen.UTC(),
+			Live:     now.Sub(seen) < 2*s.cfg.LeaseTTL,
+		}
+	}
+	return m
+}
+
+// Handler returns the HTTP/JSON API:
+//
+//	POST /jobs            {"spec": WireSpec, "shard_size": n} → JobStatus
+//	GET  /jobs            → [JobStatus]
+//	GET  /jobs/{id}       → JobStatus
+//	GET  /jobs/{id}/rows  → campaign rows (?partial=1 while running)
+//	POST /lease           {"worker": w} → LeaseGrant | 204
+//	POST /heartbeat       {"worker": w, "job": id, "shard": n} → {"renewed": bool}
+//	POST /complete        {"worker": w, "job": id, "shard": n, "rows": [...]} → {"duplicate": bool}
+//	GET  /metrics         → Metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Spec      campaign.WireSpec `json:"spec"`
+			ShardSize int               `json:"shard_size"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := s.Submit(req.Spec, req.ShardSize)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/rows", func(w http.ResponseWriter, r *http.Request) {
+		partial := r.URL.Query().Get("partial") == "1"
+		rows, err := s.Rows(r.PathValue("id"), partial)
+		if err != nil {
+			code := http.StatusNotFound
+			if strings.Contains(err.Error(), "still running") {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rows.WriteJSON(w)
+	})
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		grant, ok := s.lease(req.Worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, grant)
+	})
+	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+			Job    string `json:"job"`
+			Shard  int    `json:"shard"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		renewed, err := s.heartbeat(req.Worker, req.Job, req.Shard)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"renewed": renewed})
+	})
+	mux.HandleFunc("POST /complete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string           `json:"worker"`
+			Job    string           `json:"job"`
+			Shard  int              `json:"shard"`
+			Rows   campaign.Results `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		dup, err := s.complete(req.Worker, req.Job, req.Shard, req.Rows)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"duplicate": dup})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.MetricsSnapshot())
+	})
+	return mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError emits a JSON error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

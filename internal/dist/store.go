@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"tcphack/internal/campaign"
+)
+
+// Store is the content-addressed memoization backend: completed grid
+// points keyed by their fingerprint (results.PointFingerprint). A
+// store is both the daemon's checkpoint and its cross-sweep cache, so
+// implementations must make Put durable before returning. The file-dir
+// backend is the first implementation; the interface is deliberately
+// narrow (get/put, no enumeration) so a sqlite backend can slot in
+// without touching the planner or server.
+type Store interface {
+	// Get returns the cached row for a fingerprint, nil on a miss.
+	Get(fp string) (*campaign.Result, error)
+	// Put persists one row under its fingerprint, overwriting any
+	// previous entry (rows are deterministic, so overwrites are
+	// idempotent).
+	Put(fp string, r campaign.Result) error
+}
+
+// DirStore is the file-dir Store: one JSON file per fingerprint under
+// a root directory, written atomically (temp file + rename) so a
+// crashed daemon never leaves a torn cache entry.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a file-dir store rooted at
+// dir.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: creating store dir: %v", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a fingerprint to its file, rejecting anything that could
+// escape the store root (fingerprints are lowercase hex, but the store
+// must not trust its callers' inputs).
+func (s *DirStore) path(fp string) (string, error) {
+	if fp == "" || strings.ContainsAny(fp, "/\\.") {
+		return "", fmt.Errorf("dist: invalid fingerprint %q", fp)
+	}
+	return filepath.Join(s.dir, fp+".json"), nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(fp string) (*campaign.Result, error) {
+	path, err := s.path(fp)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r campaign.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("dist: corrupt store entry %s: %v", fp, err)
+	}
+	return &r, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(fp string, r campaign.Result) error {
+	path, err := s.path(fp)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// MemStore is the in-memory Store: the memory-only daemon's backend
+// (no resume across restarts) and the test double.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]campaign.Result
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: map[string]campaign.Result{}}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(fp string) (*campaign.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.m[fp]; ok {
+		return &r, nil
+	}
+	return nil, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(fp string, r campaign.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[fp] = r
+	return nil
+}
+
+// Len reports the number of cached rows (test introspection).
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tcphack/internal/campaign"
+)
+
+// Client speaks the Server's HTTP/JSON API — the submit/status side
+// for CLIs and the lease/complete side for workers.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON round trip; out may be nil. ok codes: 200; 204
+// returns errNoContent sentinel via found=false.
+func (c *Client) do(method, path string, in, out any) (found bool, err error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return false, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return false, fmt.Errorf("dist: %s %s: %s", method, path, e.Error)
+		}
+		return false, fmt.Errorf("dist: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Submit posts a spec (shardSize ≤ 0 uses the server default) and
+// returns the new job's status.
+func (c *Client) Submit(spec campaign.WireSpec, shardSize int) (JobStatus, error) {
+	var st JobStatus
+	req := struct {
+		Spec      campaign.WireSpec `json:"spec"`
+		ShardSize int               `json:"shard_size"`
+	}{spec, shardSize}
+	_, err := c.do("POST", "/jobs", req, &st)
+	return st, err
+}
+
+// Jobs lists every job's status.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	_, err := c.do("GET", "/jobs", nil, &out)
+	return out, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(jobID string) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do("GET", "/jobs/"+jobID, nil, &st)
+	return st, err
+}
+
+// Rows fetches a completed job's merged rows.
+func (c *Client) Rows(jobID string) (campaign.Results, error) {
+	var rows campaign.Results
+	_, err := c.do("GET", "/jobs/"+jobID+"/rows", nil, &rows)
+	return rows, err
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	_, err := c.do("GET", "/metrics", nil, &m)
+	return m, err
+}
+
+// Lease asks for a shard; ok=false means no work is pending.
+func (c *Client) Lease(worker string) (LeaseGrant, bool, error) {
+	var grant LeaseGrant
+	found, err := c.do("POST", "/lease", map[string]string{"worker": worker}, &grant)
+	return grant, found && err == nil, err
+}
+
+// Heartbeat extends a held lease; renewed=false means the lease was
+// lost to expiry.
+func (c *Client) Heartbeat(worker, jobID string, shardID int) (bool, error) {
+	req := struct {
+		Worker string `json:"worker"`
+		Job    string `json:"job"`
+		Shard  int    `json:"shard"`
+	}{worker, jobID, shardID}
+	var resp struct {
+		Renewed bool `json:"renewed"`
+	}
+	_, err := c.do("POST", "/heartbeat", req, &resp)
+	return resp.Renewed, err
+}
+
+// Complete delivers a shard's rows; duplicate=true means another
+// delivery won (identical rows, by the determinism contract).
+func (c *Client) Complete(worker, jobID string, shardID int, rows campaign.Results) (bool, error) {
+	req := struct {
+		Worker string           `json:"worker"`
+		Job    string           `json:"job"`
+		Shard  int              `json:"shard"`
+		Rows   campaign.Results `json:"rows"`
+	}{worker, jobID, shardID, rows}
+	var resp struct {
+		Duplicate bool `json:"duplicate"`
+	}
+	_, err := c.do("POST", "/complete", req, &resp)
+	return resp.Duplicate, err
+}
+
+// WaitDone polls a job until it reports done, returning the final
+// status. The context bounds the wait.
+func (c *Client) WaitDone(ctx context.Context, jobID string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(jobID)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Worker pulls shards from a daemon and simulates them: lease,
+// materialize the spec, campaign.RunPoints over the shard's indexes,
+// heartbeat while simulating, deliver. Cancelling the context stops
+// the worker gracefully: it finishes and delivers the shard it holds
+// (abandoning mid-shard would only burn the lease TTL before a
+// re-queue) and then stops leasing.
+type Worker struct {
+	// Client targets the daemon.
+	Client Client
+	// Name identifies the worker in leases and liveness metrics.
+	Name string
+	// Poll is the idle wait between lease attempts when the queue is
+	// empty (default 200 ms).
+	Poll time.Duration
+	// OnShard, when set, observes each completed shard (logging).
+	OnShard func(grant LeaseGrant, duplicate bool)
+}
+
+// Run executes the lease loop until the context is cancelled (graceful
+// drain: an in-flight shard is finished and delivered first) or a
+// non-retryable error occurs.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		grant, ok, err := w.Client.Lease(w.Name)
+		if err != nil {
+			// A daemon restart or network blip is survivable; keep
+			// polling until cancelled.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if err := w.runShard(grant); err != nil {
+			return err
+		}
+	}
+}
+
+// runShard simulates one leased shard and delivers its rows,
+// heartbeating in the background while the simulation runs.
+func (w *Worker) runShard(grant LeaseGrant) error {
+	spec, err := grant.Spec.Spec()
+	if err != nil {
+		return fmt.Errorf("dist: worker %s: bad spec for job %s: %v", w.Name, grant.Job, err)
+	}
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(grant.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-time.After(interval):
+				// A lost lease is not fatal: completion is idempotent.
+				w.Client.Heartbeat(w.Name, grant.Job, grant.Shard)
+			}
+		}
+	}()
+	rows, err := campaign.RunPoints(context.Background(), spec, grant.Indexes)
+	close(hbStop)
+	<-hbDone
+	if err != nil {
+		return fmt.Errorf("dist: worker %s: job %s shard %d: %v", w.Name, grant.Job, grant.Shard, err)
+	}
+	dup, err := w.Client.Complete(w.Name, grant.Job, grant.Shard, rows)
+	if err != nil {
+		return fmt.Errorf("dist: worker %s: delivering job %s shard %d: %v", w.Name, grant.Job, grant.Shard, err)
+	}
+	if w.OnShard != nil {
+		w.OnShard(grant, dup)
+	}
+	return nil
+}

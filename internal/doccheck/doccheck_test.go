@@ -29,6 +29,7 @@ var auditedPackages = []string{
 	"internal/phy",
 	"internal/sim",
 	"internal/node",
+	"internal/dist",
 	".", // the public tcphack package
 }
 

@@ -50,9 +50,13 @@ type Agg struct {
 	Campaign string `json:"campaign"`
 	// Fingerprint identifies the sweep the aggregation came from (see
 	// Table.Fingerprint); Compare checks it against a baseline's.
-	Fingerprint string   `json:"fingerprint"`
-	GroupBy     []string `json:"group_by"`
-	Groups      []Group  `json:"groups"`
+	Fingerprint string `json:"fingerprint"`
+	// Axes is the sweep shape behind Fingerprint (Table.Shape),
+	// persisted into baselines so mismatches can name the diverging
+	// component.
+	Axes    map[string][]string `json:"axes,omitempty"`
+	GroupBy []string            `json:"group_by"`
+	Groups  []Group             `json:"groups"`
 }
 
 // keySep joins group-key components; ASCII unit separator cannot occur
@@ -98,6 +102,7 @@ func (t *Table) Aggregate(groupBy ...string) (*Agg, error) {
 	a := &Agg{
 		Campaign:    t.Campaign,
 		Fingerprint: t.Fingerprint(),
+		Axes:        t.Shape(),
 		GroupBy:     append([]string{}, groupBy...),
 	}
 	for _, c := range cells {

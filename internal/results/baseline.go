@@ -18,11 +18,15 @@ const BaselineVersion = 1
 // unchanged sweep rewrites an identical file — friendly to version
 // control and CI golden files.
 type Baseline struct {
-	Version     int      `json:"version"`
-	Campaign    string   `json:"campaign"`
-	Fingerprint string   `json:"fingerprint"`
-	GroupBy     []string `json:"group_by"`
-	Groups      []Group  `json:"groups"`
+	Version     int    `json:"version"`
+	Campaign    string `json:"campaign"`
+	Fingerprint string `json:"fingerprint"`
+	// Axes is the sweep shape behind Fingerprint (axis column → sorted
+	// distinct values). Older baseline files lack it; Compare then
+	// falls back to the bare mismatch warning.
+	Axes    map[string][]string `json:"axes,omitempty"`
+	GroupBy []string            `json:"group_by"`
+	Groups  []Group             `json:"groups"`
 }
 
 // NewBaseline snapshots an aggregation as a baseline.
@@ -31,6 +35,7 @@ func NewBaseline(a *Agg) *Baseline {
 		Version:     BaselineVersion,
 		Campaign:    a.Campaign,
 		Fingerprint: a.Fingerprint,
+		Axes:        a.Axes,
 		GroupBy:     a.GroupBy,
 		Groups:      a.Groups,
 	}
@@ -41,7 +46,7 @@ func NewBaseline(a *Agg) *Baseline {
 // Runs of the same scenario and grid share a fingerprint regardless of
 // row order or worker count; changing any axis (different rates, an
 // added loss point) changes it, which Compare reports as a shape
-// mismatch.
+// mismatch — with the diverging components named via Shape.
 func (t *Table) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "campaign=%s\n", t.Campaign)
@@ -49,6 +54,19 @@ func (t *Table) Fingerprint() string {
 		fmt.Fprintf(h, "%s=%v\n", col, t.axisValues(col))
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// Shape returns the sweep's shape explicitly — each axis column's
+// sorted distinct values — the expansion of what Fingerprint hashes.
+// Baselines persist it so a later fingerprint mismatch can report
+// which component (campaign name, axis set, axis values) diverged
+// instead of a bare warning.
+func (t *Table) Shape() map[string][]string {
+	shape := make(map[string][]string, len(AxisColumns))
+	for _, col := range AxisColumns {
+		shape[col] = t.axisValues(col)
+	}
+	return shape
 }
 
 // Write emits the baseline as indented JSON.

@@ -79,6 +79,11 @@ type Comparison struct {
 	// still compared, so a deliberately degraded axis value (say a
 	// forced lower rate) surfaces as regressions rather than silence.
 	FingerprintMatched bool `json:"fingerprint_matched"`
+	// ShapeDiff names the diverging shape components on a fingerprint
+	// mismatch — one line per difference (campaign name, an axis's
+	// value set). Empty when the fingerprints match, or when the
+	// baseline predates shape recording (a single explanatory line).
+	ShapeDiff []string `json:"shape_diff,omitempty"`
 	// BaselineOnly and RunOnly list group keys present on one side
 	// only (grid shrank or grew).
 	BaselineOnly [][]string    `json:"baseline_only,omitempty"`
@@ -104,6 +109,9 @@ func Compare(run *Agg, base *Baseline, tolerances map[string]Tolerance) (*Compar
 		GroupBy:            run.GroupBy,
 		FingerprintMatched: run.Fingerprint == base.Fingerprint,
 	}
+	if !c.FingerprintMatched {
+		c.ShapeDiff = shapeDiff(run, base)
+	}
 
 	baseByKey := make(map[string]*Group, len(base.Groups))
 	for i := range base.Groups {
@@ -127,6 +135,47 @@ func Compare(run *Agg, base *Baseline, tolerances map[string]Tolerance) (*Compar
 		}
 	}
 	return c, nil
+}
+
+// shapeDiff pinpoints which sweep-shape components diverged between a
+// run and a baseline whose fingerprints mismatch: the campaign name
+// and, per axis column, the distinct-value sets. A baseline written
+// before shape recording (no Axes) yields a single explanatory line
+// rather than guessing.
+func shapeDiff(run *Agg, base *Baseline) []string {
+	var out []string
+	if run.Campaign != base.Campaign {
+		out = append(out, fmt.Sprintf("campaign name: run %q vs baseline %q", run.Campaign, base.Campaign))
+	}
+	if base.Axes == nil {
+		return append(out, "baseline predates shape recording (no axis values stored); re-save it to enable axis-level diagnostics")
+	}
+	for _, col := range AxisColumns {
+		rv, bv := run.Axes[col], base.Axes[col]
+		if slices.Equal(rv, bv) {
+			continue
+		}
+		out = append(out, fmt.Sprintf("axis %s: run %s vs baseline %s", col, valueSet(rv), valueSet(bv)))
+	}
+	if len(out) == 0 {
+		out = append(out, "fingerprints differ but recorded shapes agree (fingerprint scheme changed between builds)")
+	}
+	return out
+}
+
+// valueSet renders one axis's distinct values for the shape report.
+func valueSet(vals []string) string {
+	if len(vals) == 0 {
+		return "(none)"
+	}
+	quoted := make([]string, len(vals))
+	for i, v := range vals {
+		if v == "" {
+			v = `""`
+		}
+		quoted[i] = v
+	}
+	return "[" + strings.Join(quoted, " ") + "]"
 }
 
 // compareGroup evaluates every toleranced metric present on both sides.
@@ -220,7 +269,10 @@ func (c *Comparison) Report(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	if !c.FingerprintMatched {
-		fmt.Fprintln(w, "warning: sweep shape differs from the baseline (axes or their values changed); comparing matched groups only")
+		fmt.Fprintln(w, "warning: sweep shape differs from the baseline; comparing matched groups only:")
+		for _, d := range c.ShapeDiff {
+			fmt.Fprintf(w, "  shape: %s\n", d)
+		}
 	}
 	for _, key := range c.BaselineOnly {
 		fmt.Fprintf(w, "warning: baseline group %s missing from this run\n", keyString(c.GroupBy, key))

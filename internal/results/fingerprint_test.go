@@ -1,0 +1,165 @@
+package results
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcphack/internal/campaign"
+)
+
+func TestPointFingerprint(t *testing.T) {
+	fields := map[string]string{"scenario": "sora-stock", "mode": "off", "seed": "1"}
+	fp := PointFingerprint(CodeVersion, fields)
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex chars", fp)
+	}
+	if fp != PointFingerprint(CodeVersion, fields) {
+		t.Error("fingerprint not deterministic")
+	}
+	if fp == PointFingerprint("other-salt", fields) {
+		t.Error("salt not folded into the fingerprint")
+	}
+	changed := map[string]string{"scenario": "sora-stock", "mode": "more-data", "seed": "1"}
+	if fp == PointFingerprint(CodeVersion, changed) {
+		t.Error("field change did not change the fingerprint")
+	}
+	// Insertion order is irrelevant: the hash sorts keys.
+	reordered := map[string]string{"seed": "1", "mode": "off", "scenario": "sora-stock"}
+	if fp != PointFingerprint(CodeVersion, reordered) {
+		t.Error("fingerprint depends on map insertion order")
+	}
+}
+
+// mergeRows builds n distinguishable rows for Merge tests.
+func mergeRows(n int) campaign.Results {
+	rows := make(campaign.Results, n)
+	for i := range rows {
+		rows[i] = campaign.Result{
+			Campaign:      "merge-test",
+			Point:         campaign.Point{Index: i, Seed: int64(i + 1)},
+			AggregateMbps: float64(10 + i),
+		}
+	}
+	return rows
+}
+
+func TestMergeReassemblesShards(t *testing.T) {
+	full := mergeRows(5)
+	// Out-of-order shards with one row delivered twice (identically).
+	parts := []campaign.Results{
+		{full[3], full[1]},
+		{full[0], full[4]},
+		{full[2], full[1]},
+	}
+	got, err := Merge(5, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Fatalf("merge = %+v, want %+v", got, full)
+	}
+}
+
+func TestMergeRejectsConflictsAndGaps(t *testing.T) {
+	full := mergeRows(3)
+
+	conflict := full[1]
+	conflict.AggregateMbps++
+	if _, err := Merge(3, campaign.Results{full[0], full[1], full[2]}, campaign.Results{conflict}); err == nil ||
+		!strings.Contains(err.Error(), "conflicting duplicate") {
+		t.Errorf("conflicting duplicate not rejected: %v", err)
+	}
+
+	if _, err := Merge(3, campaign.Results{full[0], full[2]}); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Errorf("gap not rejected: %v", err)
+	}
+
+	oob := full[0]
+	oob.Index = 7
+	if _, err := Merge(3, campaign.Results{oob}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range index not rejected: %v", err)
+	}
+}
+
+// TestShapeDiffDiagnostics: a fingerprint mismatch must name the
+// diverging component — campaign label or per-axis value sets — and a
+// baseline from before shape recording must say so instead of
+// guessing.
+func TestShapeDiffDiagnostics(t *testing.T) {
+	rs := testResults(t)
+	agg, err := FromResults(rs).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBaseline(agg)
+
+	// Same campaign, one axis swept differently: drop the 2-client rows.
+	var narrower campaign.Results
+	for _, r := range rs {
+		if r.Clients == 1 {
+			narrower = append(narrower, r)
+		}
+	}
+	nagg, err := FromResults(narrower).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(nagg, base, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FingerprintMatched {
+		t.Fatal("narrower sweep matched the baseline fingerprint")
+	}
+	found := false
+	for _, d := range cmp.ShapeDiff {
+		if strings.Contains(d, "axis clients") && strings.Contains(d, "[1]") && strings.Contains(d, "[1 2]") {
+			found = true
+		}
+		if strings.Contains(d, "axis mode") {
+			t.Errorf("unchanged axis reported: %q", d)
+		}
+	}
+	if !found {
+		t.Errorf("clients-axis divergence not named: %v", cmp.ShapeDiff)
+	}
+
+	// Renamed campaign: the name is called out.
+	renamed := make(campaign.Results, len(rs))
+	copy(renamed, rs)
+	for i := range renamed {
+		renamed[i].Campaign = "other-name"
+	}
+	ragg, err := FromResults(renamed).Aggregate("mode", "clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err = Compare(ragg, base, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range cmp.ShapeDiff {
+		if strings.Contains(d, "campaign name") && strings.Contains(d, "other-name") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("campaign rename not named: %v", cmp.ShapeDiff)
+	}
+
+	// A legacy baseline without recorded axes explains itself.
+	legacy := *base
+	legacy.Axes = nil
+	legacy.Fingerprint = "stale"
+	cmp, err = Compare(agg, &legacy, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.ShapeDiff) != 1 || !strings.Contains(cmp.ShapeDiff[0], "predates shape recording") {
+		t.Errorf("legacy baseline diagnostic = %v", cmp.ShapeDiff)
+	}
+}
