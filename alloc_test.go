@@ -28,6 +28,40 @@ const steadyStateAllocBudget = 1.8
 // reset it), and the simulation is single-goroutine, so the window
 // delta is exact up to the test runtime's own background noise —
 // which the wide event window drowns out.
+// scaleAllocBudget is the allowed mallocs per executed scheduler event
+// in the 100-station grid scenario (see scaleNetwork in bench_test.go).
+// Large-N steady state is cheaper per event than the 2-client TCP
+// scenario — UDP sinks allocate no TCP state and the MSDU freelists
+// recycle every data frame — so the gate is much tighter (measured
+// ≈0.11 with the wheel and MSDU freelists). CI runs this test as the
+// hard allocation gate for the BenchmarkScale workload.
+const scaleAllocBudget = 0.25
+
+// TestScaleAllocBudget runs the 100-station grid scenario to steady
+// state on the timing wheel and asserts the per-event allocation rate
+// stays under the large-N budget.
+func TestScaleAllocBudget(t *testing.T) {
+	n := scaleNetwork(100, sim.BackendWheel)
+	n.Run(scaleWarm)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ev0 := n.Sched.EventsFired()
+	n.Run(scaleWarm + sim.Second)
+	runtime.ReadMemStats(&after)
+	events := n.Sched.EventsFired() - ev0
+	if events == 0 {
+		t.Fatal("no events in the measurement window")
+	}
+	perEvent := float64(after.Mallocs-before.Mallocs) / float64(events)
+	t.Logf("100-station steady state: %.3f allocs/event (%d mallocs over %d events)",
+		perEvent, after.Mallocs-before.Mallocs, events)
+	if perEvent > scaleAllocBudget {
+		t.Errorf("100-station allocation rate %.3f allocs/event exceeds budget %v",
+			perEvent, scaleAllocBudget)
+	}
+}
+
 func TestSteadyStateAllocBudget(t *testing.T) {
 	cfg := Scenario80211n(ModeMoreData, 2)
 	n := node.New(cfg)

@@ -15,6 +15,7 @@ import (
 	"tcphack/internal/campaign"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
+	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
 )
 
@@ -120,6 +121,72 @@ func BenchmarkAblationTXOP(b *testing.B) {
 	b.ReportMetric(txop4ms, "txop4ms_mbps")
 	b.ReportMetric(txop1ms, "txop1ms_mbps")
 }
+
+// --- N-scaling (timing-wheel) suite ---
+
+// The scale scenario: n stations on a dense 2 m grid (everyone within
+// carrier-sense range, so every frame touches every station's NAV and
+// carrier state — the timer-churn regime the wheel is built for), each
+// sinking its share of an 80 Mbps aggregate UDP downlink.
+const (
+	scaleWarm          = 500 * sim.Millisecond
+	scaleMeasure       = 1500 * sim.Millisecond
+	scaleAggregateKbps = 80_000
+)
+
+// scaleNetwork builds the n-station grid scenario on the given
+// scheduler backend with staggered per-client UDP downloads.
+func scaleNetwork(stations int, backend sim.Backend) *node.Network {
+	cfg := scenario.New(scenario.With80211n(), scenario.WithGrid(stations, 2))
+	cfg.SchedulerBackend = backend
+	n := node.New(cfg)
+	for ci := 0; ci < stations; ci++ {
+		n.StartUDPDownload(ci, scaleAggregateKbps/stations, 1500,
+			sim.Duration(ci)*37*sim.Microsecond)
+	}
+	return n
+}
+
+// benchScale runs the grid scenario at each station count, timing only
+// the steady-state window (network construction and warmup excluded),
+// and reports events/s, allocs/event, and ns/event.
+func benchScale(b *testing.B, backend sim.Backend) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("stations=%d", n), func(b *testing.B) {
+			var events, mallocs uint64
+			var before, after runtime.MemStats
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				net := scaleNetwork(n, backend)
+				net.Run(scaleWarm)
+				runtime.ReadMemStats(&before)
+				ev0 := net.Sched.EventsFired()
+				b.StartTimer()
+				net.Run(scaleWarm + scaleMeasure)
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				events += net.Sched.EventsFired() - ev0
+				mallocs += after.Mallocs - before.Mallocs
+			}
+			if events == 0 {
+				b.Fatal("no events in the measurement window")
+			}
+			sec := b.Elapsed().Seconds()
+			b.ReportMetric(float64(events)/sec, "events/s")
+			b.ReportMetric(float64(mallocs)/float64(events), "allocs/event")
+			b.ReportMetric(sec*1e9/float64(events), "ns/event")
+		})
+	}
+}
+
+// BenchmarkScale measures the production (timing-wheel) scheduler's
+// event throughput as the network grows from 10 to 1000 stations.
+func BenchmarkScale(b *testing.B) { benchScale(b, sim.BackendWheel) }
+
+// BenchmarkScaleHeap runs the identical workload on the retained
+// binary-heap backend — the pre-wheel baseline the scaling numbers are
+// compared against.
+func BenchmarkScaleHeap(b *testing.B) { benchScale(b, sim.BackendHeap) }
 
 // BenchmarkSimulatorEventRate measures raw simulator throughput: a
 // saturated 10-client 802.11n network's events per wall second.

@@ -149,8 +149,8 @@ func runSubmit(sw sweepConfig, o tcphack.ExperimentOptions, server string,
 	if err != nil {
 		return 0, err
 	}
-	fmt.Fprintf(os.Stderr, "job %s submitted: %d point(s), %d cached, %d shard(s)\n",
-		st.ID, st.TotalPoints, st.CachedPoints, st.ShardsTotal)
+	fmt.Fprintf(os.Stderr, "job %s submitted: %s point(s), %s cached, %s shard(s)\n",
+		st.ID, groupInt(st.TotalPoints), groupInt(st.CachedPoints), groupInt(st.ShardsTotal))
 	if !wait {
 		fmt.Println(st.ID)
 		return 0, nil
@@ -199,8 +199,8 @@ func runDryRun(sw sweepConfig, o tcphack.ExperimentOptions, stateDir string, sha
 	if err != nil {
 		return 0, err
 	}
-	fmt.Printf("campaign %s: %d point(s), %d shard(s), salt %s\n",
-		spec.DisplayName(), len(plan.Points), len(plan.Shards), tcphack.SimCodeVersion)
+	fmt.Printf("campaign %s: %s point(s), %s shard(s), salt %s\n",
+		spec.DisplayName(), groupInt(len(plan.Points)), groupInt(len(plan.Shards)), tcphack.SimCodeVersion)
 	fmt.Printf("%5s %-14s %8s %6s %10s %-10s %7s %6s %-16s %s\n",
 		"index", "mode", "clients", "seed", "rate_kbps", "adapter", "loss%", "snr", "fingerprint", "cached")
 	for _, pp := range plan.Points {
@@ -213,7 +213,7 @@ func runDryRun(sw sweepConfig, o tcphack.ExperimentOptions, stateDir string, sha
 			pp.Index, av["mode"], av["clients"], av["seed"], av["rate_kbps"],
 			av["adapter"], av["loss_pct"], av["snr_db"], pp.Fingerprint, cached)
 	}
-	fmt.Printf("expected cache hits: %d/%d", plan.Cached, len(plan.Points))
+	fmt.Printf("expected cache hits: %s/%s", groupInt(plan.Cached), groupInt(len(plan.Points)))
 	if len(plan.Points) > 0 {
 		fmt.Printf(" (%.0f%%)", 100*float64(plan.Cached)/float64(len(plan.Points)))
 	}

@@ -296,14 +296,51 @@ func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
 		Workload: workload,
 	}
 	if sw.progress {
+		// Progress calls arrive serialized, once per completed row; on
+		// a large grid a per-row stderr write would dominate. Batch to
+		// every ≥1% of the grid (capped at 1000 rows), always printing
+		// the final count.
+		last, step := 0, 0
 		spec.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d rows", done, total)
+			if step == 0 {
+				if step = total / 100; step < 1 {
+					step = 1
+				} else if step > 1000 {
+					step = 1000
+				}
+			}
+			if done != total && done < last+step {
+				return
+			}
+			last = done
+			fmt.Fprintf(os.Stderr, "\r%s/%s rows", groupInt(done), groupInt(total))
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
 	return emitAndCompare(sw, tcphack.RunCampaign(spec))
+}
+
+// groupInt formats a count with comma thousands grouping (1234567 →
+// "1,234,567") for the human-facing progress and planning lines.
+func groupInt(n int) string {
+	s := strconv.Itoa(n)
+	if n < 0 || len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+	}
+	for i := pre; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
 }
 
 // emitAndCompare writes a sweep's rows in sw.format and runs the

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestGroupInt(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want string
+	}{
+		{0, "0"}, {7, "7"}, {999, "999"}, {1000, "1,000"},
+		{12345, "12,345"}, {123456, "123,456"}, {1234567, "1,234,567"},
+		{1_000_000_000, "1,000,000,000"}, {-42, "-42"},
+	} {
+		if got := groupInt(tc.n); got != tc.want {
+			t.Errorf("groupInt(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

@@ -67,6 +67,54 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestLargeNParallelMatchesSerial extends the determinism guarantee to
+// the 500-station grid scenario the timing wheel targets: a dense
+// topology whose per-event NAV/carrier churn stresses the wheel's
+// cascade and min-cache paths far harder than the small CI grids. Rows
+// must be identical serial vs. parallel, and a RunPoints shard must
+// reproduce the full run's rows exactly.
+func TestLargeNParallelMatchesSerial(t *testing.T) {
+	const stations = 500
+	spec := func(workers int) Spec {
+		return Spec{
+			Name: "large-n",
+			Base: scenario.New(scenario.With80211n(), scenario.WithGrid(stations, 2)),
+			Axes: Axes{
+				Modes: []hack.Mode{hack.ModeOff},
+				Seeds: Seeds(1, 2),
+			},
+			Warmup:  100 * sim.Millisecond,
+			Measure: 100 * sim.Millisecond,
+			Workers: workers,
+			Workload: func(n *node.Network, pt Point) {
+				for ci := 0; ci < stations; ci++ {
+					n.StartUDPDownload(ci, 160, 1500, sim.Duration(ci)*37*sim.Microsecond)
+				}
+			},
+		}
+	}
+	serial := Run(spec(1))
+	if len(serial) != 2 {
+		t.Fatalf("serial rows = %d, want 2", len(serial))
+	}
+	for _, r := range serial {
+		if r.AggregateMbps <= 0 {
+			t.Errorf("row %d: no goodput (%+v)", r.Index, r)
+		}
+	}
+	parallel := Run(spec(runtime.NumCPU()))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("500-station parallel run diverged from serial run")
+	}
+	shard, err := RunPoints(context.Background(), spec(1), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shard[0], serial[1]) {
+		t.Error("500-station RunPoints shard differs from the full run's row")
+	}
+}
+
 // TestAdaptersAxisParallelMatchesSerial extends the determinism
 // guarantee to rate adaptation: Minstrel keeps per-station learned
 // state and draws probe schedules from an RNG, all of which must be

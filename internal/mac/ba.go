@@ -50,6 +50,7 @@ func (r *baRecipient) receive(m *MPDU) bool {
 		r.advanceTo(seqAdd(m.Seq, -(baWindowSize - 1)))
 	}
 	r.buf[m.Seq] = m.MSDU
+	m.MSDU.retain() // the sender may resolve (and recycle) it first
 	r.deliverInOrder()
 	r.armFlush()
 	return true
@@ -65,6 +66,7 @@ func (r *baRecipient) deliverInOrder() {
 		delete(r.buf, r.winStart)
 		r.winStart = seqNext(r.winStart)
 		r.st.deliverUp(msdu)
+		msdu.release()
 	}
 }
 
@@ -81,6 +83,7 @@ func (r *baRecipient) advanceTo(seq uint16) {
 		if msdu, ok := r.buf[r.winStart]; ok {
 			delete(r.buf, r.winStart)
 			r.st.deliverUp(msdu)
+			msdu.release()
 		}
 		r.winStart = seqNext(r.winStart)
 	}

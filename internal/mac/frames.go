@@ -22,6 +22,33 @@ type MSDU struct {
 	IsTCPAck bool
 	// EnqueuedAt records when the MSDU entered the transmit queue.
 	EnqueuedAt sim.Time
+	// pool is the owning station's freelist, nil for manually
+	// constructed MSDUs (which are never recycled); refs counts the
+	// holders that must release before the MSDU returns to the pool.
+	// See Station.EnqueuePacket.
+	pool *Station
+	refs int32
+}
+
+// retain adds a holder reference to a pooled MSDU. The Block ACK
+// reorder buffer takes one when it stores a received MSDU, since the
+// sender may resolve (and otherwise recycle) it first. No-op for
+// manually constructed MSDUs.
+func (m *MSDU) retain() {
+	if m.pool != nil {
+		m.refs++
+	}
+}
+
+// release drops one holder reference; the last one returns the MSDU to
+// its owning station's freelist. No-op for manually constructed MSDUs.
+func (m *MSDU) release() {
+	if m.pool == nil {
+		return
+	}
+	if m.refs--; m.refs == 0 {
+		m.pool.putMSDU(m)
+	}
 }
 
 // Len returns the IP datagram length in bytes.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tcphack/internal/channel"
+	"tcphack/internal/packet"
 	"tcphack/internal/phy"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
@@ -153,8 +154,18 @@ type Station struct {
 	// (delivered or dropped at the retry limit); a DataFrame when its
 	// exchange resolves. Receivers never retain either — they extract
 	// the MSDU at EndRx — so reuse after those points cannot alias.
+	// msduPool recycles the MSDUs created by EnqueuePacket; unlike the
+	// other two, an MSDU can outlive the sender's exchange (the
+	// receiver's Block ACK reorder buffer holds it for up to
+	// reorderTimeout), so MSDUs are reference-counted and return here
+	// only when the last holder releases.
 	mpduPool  []*MPDU
 	framePool []*DataFrame
+	msduPool  []*MSDU
+
+	// rxScratch is the reusable decode buffer for rxData (per-frame MPDU
+	// filtering); no callee retains the slice.
+	rxScratch []*MPDU
 
 	// Hooks receives HACK driver callbacks; defaults to NopHooks.
 	Hooks Hooks
@@ -231,6 +242,21 @@ func (st *Station) Enqueue(m *MSDU) bool {
 	return true
 }
 
+// EnqueuePacket wraps p in a recycled MSDU from the station's freelist
+// and queues it for dst, reporting false (and counting a drop) if the
+// destination queue is full. It is the allocation-free equivalent of
+// Enqueue for hot paths: the MSDU returns to the freelist automatically
+// once every holder — the transmit path and, for aggregated traffic,
+// the receiver's reorder buffer — has released it.
+func (st *Station) EnqueuePacket(dst Addr, p *packet.Packet, isTCPAck bool) bool {
+	m := st.getMSDU(dst, p, isTCPAck)
+	if !st.Enqueue(m) {
+		m.release()
+		return false
+	}
+	return true
+}
+
 // QueueLen returns the number of MSDUs queued for dst.
 func (st *Station) QueueLen(dst Addr) int { return len(st.queue(dst).fifo) }
 
@@ -244,6 +270,7 @@ func (st *Station) RemoveQueued(dst Addr, match func(*MSDU) bool) bool {
 	for i, m := range q.fifo {
 		if match(m) {
 			q.fifo = append(q.fifo[:i], q.fifo[i+1:]...)
+			m.release()
 			return true
 		}
 	}
@@ -314,6 +341,27 @@ func (st *Station) lastRateFor(q *destQueue) phy.Rate {
 		return st.cfg.DataRate
 	}
 	return q.lastDataRate
+}
+
+// getMSDU returns a recycled (or new) MSDU owned by this station's
+// freelist, fully reinitialized with one reference held by the caller.
+func (st *Station) getMSDU(dst Addr, p *packet.Packet, isTCPAck bool) *MSDU {
+	var m *MSDU
+	if n := len(st.msduPool); n > 0 {
+		m = st.msduPool[n-1]
+		st.msduPool = st.msduPool[:n-1]
+	} else {
+		m = &MSDU{}
+	}
+	*m = MSDU{Src: st.cfg.Addr, Dst: dst, Packet: p, IsTCPAck: isTCPAck, pool: st, refs: 1}
+	return m
+}
+
+// putMSDU recycles an MSDU whose last reference was released. The
+// packet reference is dropped so the pool never extends its lifetime.
+func (st *Station) putMSDU(m *MSDU) {
+	m.Packet = nil
+	st.msduPool = append(st.msduPool, m)
 }
 
 // getMPDU returns a recycled (or new) MPDU initialized to {seq, msdu}.
@@ -561,12 +609,13 @@ func (st *Station) rxData(f *DataFrame, tx *channel.Transmission) {
 		return
 	}
 	ht := tx.Rate.HT
-	var decoded []*MPDU
+	decoded := st.rxScratch[:0]
 	for _, m := range f.MPDUs {
 		if !st.medium.Corrupted(tx.Source, st, tx.Rate, mpduWireLen(m.MSDU.Len(), ht)) {
 			decoded = append(decoded, m)
 		}
 	}
+	st.rxScratch = decoded[:0]
 	if len(decoded) == 0 {
 		// Nothing decodable: the station cannot even tell the frame was
 		// addressed to it; no response, sender times out.
@@ -719,6 +768,7 @@ func (st *Station) recordDelivered(q *destQueue, m *MPDU) {
 	if st.OnMSDUResolved != nil {
 		st.OnMSDUResolved(m.MSDU, true)
 	}
+	m.MSDU.release()
 }
 
 func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
@@ -729,6 +779,7 @@ func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
 		if st.OnMSDUResolved != nil {
 			st.OnMSDUResolved(m.MSDU, false)
 		}
+		m.MSDU.release()
 		st.putMPDU(m)
 		return
 	}
@@ -802,6 +853,7 @@ func (st *Station) onRespTimeout() {
 			if st.OnMSDUResolved != nil {
 				st.OnMSDUResolved(m.MSDU, false)
 			}
+			m.MSDU.release()
 			st.putMPDU(m)
 			st.dcf.onTxSuccess()
 		} else {

@@ -31,6 +31,11 @@ import (
 // Config parameterizes a Network.
 type Config struct {
 	Seed int64
+	// SchedulerBackend selects the event-queue implementation (the
+	// zero value is the timing wheel). Executions are byte-identical
+	// across backends; the heap exists for differential testing and
+	// benchmark comparison.
+	SchedulerBackend sim.Backend
 	// Mode selects the HACK policy at every station (ModeOff = stock).
 	Mode hack.Mode
 
@@ -200,6 +205,7 @@ type Network struct {
 	// Server endpoints/state (nil when WireRateKbps == 0).
 	serverEndpoints map[packet.FiveTuple]*tcp.Endpoint
 	wireUp, wireDn  *Link // up: AP→server, dn: server→AP
+	clientIdx       map[packet.Addr]int
 
 	Flows []*Flow
 
@@ -220,14 +226,18 @@ type Flow struct {
 // New assembles a network per cfg.
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
-	sched := sim.NewScheduler(cfg.Seed)
+	sched := sim.NewSchedulerBackend(cfg.Seed, cfg.SchedulerBackend)
 	medium := channel.New(sched, cfg.Err)
 	n := &Network{
 		Cfg:             cfg,
 		Sched:           sched,
 		Medium:          medium,
 		serverEndpoints: make(map[packet.FiveTuple]*tcp.Endpoint),
+		clientIdx:       make(map[packet.Addr]int, cfg.Clients),
 		nextPort:        basePort,
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		n.clientIdx[clientIP(i)] = i
 	}
 
 	payloadAllowance := 0
@@ -336,7 +346,7 @@ func (n *Network) newNode(st *mac.Station, ip packet.Addr, addr mac.Addr) *WifiN
 		DriverLatency: n.Cfg.DriverLatency,
 	})
 	d.EnqueueNative = func(dst mac.Addr, p *packet.Packet) {
-		if !st.Enqueue(&mac.MSDU{Src: addr, Dst: dst, Packet: p, IsTCPAck: true}) {
+		if !st.EnqueuePacket(dst, p, true) {
 			// Queue overflow: the native ACK is gone; keep the driver's
 			// syncing gate honest.
 			d.NativeResolved(dst, p, false)
@@ -422,16 +432,12 @@ func (w *WifiNode) sendWifi(dst mac.Addr, p *packet.Packet) {
 		w.Driver.SubmitAck(dst, p)
 		return
 	}
-	w.MAC.Enqueue(&mac.MSDU{Src: w.MACAddr, Dst: dst, Packet: p})
+	w.MAC.EnqueuePacket(dst, p, false)
 }
 
 func (n *Network) clientByIP(ip packet.Addr) (int, bool) {
-	for i := range n.Clients {
-		if clientIP(i) == ip {
-			return i, true
-		}
-	}
-	return 0, false
+	ci, ok := n.clientIdx[ip]
+	return ci, ok
 }
 
 // apFromWire handles a packet arriving at the AP from the server.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -160,6 +161,29 @@ func WithErrorModel(em channel.ErrorModel) Option {
 // the AP at the origin). The default is a 10 m circle.
 func WithTopology(fn func(i int) channel.Pos) Option {
 	return func(c *node.Config) { c.ClientPos = fn }
+}
+
+// GridPos returns the position of client i on a √n×√n row-major grid
+// with the given spacing in metres, centred on the AP at the origin.
+// It is the dense-deployment topology the N-scaling benchmarks use:
+// unlike the default 10 m circle, station density grows with n, so
+// every station stays within carrier-sense range of the rest.
+func GridPos(n int, spacing float64, i int) channel.Pos {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	off := spacing * float64(side-1) / 2
+	return channel.Pos{
+		X: spacing*float64(i%side) - off,
+		Y: spacing*float64(i/side) - off,
+	}
+}
+
+// WithGrid configures n clients on a √n×√n grid with the given spacing
+// in metres (see GridPos) — the topology for large-N scaling runs.
+func WithGrid(n int, spacing float64) Option {
+	return func(c *node.Config) {
+		c.Clients = n
+		c.ClientPos = func(i int) channel.Pos { return GridPos(n, spacing, i) }
+	}
 }
 
 // WithWire sets the server—AP wired backhaul (rateKbps 0 disables the

@@ -120,6 +120,53 @@ func TestPostReleasesArgs(t *testing.T) {
 	}
 }
 
+// TestPostSameTickRearmNoAlias: Step returns a fired Post timer to the
+// free list before invoking its callback, so a callback that re-arms a
+// persistent timer for the same tick runs while that recycled Timer is
+// already reusable. The persistent handle must stay distinct — the
+// re-armed event fires exactly once, in insertion order, and never
+// through the recycled pooled Timer.
+func TestPostSameTickRearmNoAlias(t *testing.T) {
+	for _, bk := range []struct {
+		name string
+		b    Backend
+	}{{"wheel", BackendWheel}, {"heap", BackendHeap}} {
+		t.Run(bk.name, func(t *testing.T) {
+			s := NewSchedulerBackend(1, bk.b)
+			var got []string
+			p := NewTimer(func() { got = append(got, "persist") })
+			rearm := func(any) {
+				got = append(got, "post")
+				s.Reset(p, s.Now()) // zero-delay re-arm at the same tick
+				if !p.Pending() || p.At() != s.Now() {
+					t.Errorf("same-tick Reset: pending=%v at=%v now=%v",
+						p.Pending(), p.At(), s.Now())
+				}
+			}
+			for i := 0; i < 50; i++ {
+				s.Post(Time(10*(i+1)), rearm, nil)
+			}
+			s.Run()
+			if len(got) != 100 {
+				t.Fatalf("fired %d events, want 100", len(got))
+			}
+			for i := 0; i < 100; i += 2 {
+				if got[i] != "post" || got[i+1] != "persist" {
+					t.Fatalf("order at %d: %v", i, got[i:i+2])
+				}
+			}
+			if p.Pending() {
+				t.Fatal("persistent timer still pending after drain")
+			}
+			for _, tm := range s.free {
+				if tm == p {
+					t.Fatal("persistent timer leaked into the free list")
+				}
+			}
+		})
+	}
+}
+
 // TestStepBudget guards the scheduler's own per-event overhead: once a
 // mixed workload is warm, executing one event allocates nothing inside
 // the engine (modules own whatever their callbacks allocate).

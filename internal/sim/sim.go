@@ -7,6 +7,31 @@
 // consults wall-clock time or global randomness, and ties between events
 // scheduled for the same instant are broken by insertion order.
 //
+// # Event queue backends
+//
+// The Scheduler's event queue has two interchangeable backends selected
+// by NewSchedulerBackend; both implement the identical strict (at, seq)
+// total order, so pop order — the only observable property — is the
+// same for any program:
+//
+//   - BackendWheel (the default) is a hierarchical timing wheel: 7
+//     levels of 1024 slots at 1 ns tick granularity, so level l spans
+//     deltas in [2^(10l), 2^(10(l+1))) and the hierarchy covers the full
+//     non-negative int64 time range with no unsorted overflow list.
+//     Arming, cancelling, and re-arming a timer are all O(1) — the
+//     operations that dominate MAC workloads (NAV resets, response
+//     timeouts, block-ack flush churn) — independent of how many other
+//     events are pending. When the cursor advances past a level
+//     boundary, the slot covering the new cursor cascades: its timers
+//     re-place into finer levels by their remaining delta. Cascading
+//     moves whole buckets without reordering and every bucket is
+//     resolved by an (at, seq) scan at pop time, so insertion-sequence
+//     tie-breaks survive any cascade path and executions are
+//     byte-identical to the heap's.
+//   - BackendHeap is the prior binary min-heap, retained as the
+//     differential-testing oracle and for the N-scaling comparison
+//     benchmarks. Its per-arming cost is O(log n) in pending events.
+//
 // # Scheduling APIs and allocation behaviour
 //
 // The engine exposes three ways to schedule work, trading convenience
@@ -79,7 +104,17 @@ type Timer struct {
 	fn    func()
 	fnArg func(any) // set for Post events; fn is nil then
 	arg   any
-	index int // heap index; -1 when not pending
+	// index is the pending marker shared by both queue backends: the
+	// heap stores the timer's heap position, the wheel stores 0 while
+	// linked into a bucket; both store -1 when not pending.
+	index int
+	// Intrusive bucket list links + placement, used only by the wheel
+	// backend. Keeping them on the Timer makes every wheel operation
+	// allocation-free.
+	wnext  *Timer
+	wprev  *Timer
+	wlevel int8
+	wslot  int16
 	// persistent marks caller-owned timers (NewTimer): kept out of the
 	// free list, and their callback survives firing so Reset can re-arm
 	// without re-supplying it.
@@ -99,22 +134,61 @@ func (t *Timer) Pending() bool { return t.index >= 0 }
 // At returns the virtual time the timer is (or was last) scheduled for.
 func (t *Timer) At() Time { return t.at }
 
+// eventQueue is the pluggable priority-queue backend behind a
+// Scheduler. Both implementations maintain the strict (at, seq) total
+// order; remove takes the timer itself so backends can use either a
+// positional index (heap) or intrusive links (wheel).
+type eventQueue interface {
+	len() int
+	push(t *Timer)
+	remove(t *Timer)
+	popMin() *Timer
+	min() Time // undefined when len() == 0
+}
+
+// Backend selects a Scheduler's event-queue implementation. The zero
+// value is the timing wheel, which every production path uses; the heap
+// exists as the differential-test oracle and benchmark reference.
+type Backend int
+
+// Available event-queue backends.
+const (
+	// BackendWheel is the hierarchical timing wheel (the default).
+	BackendWheel Backend = iota
+	// BackendHeap is the prior binary min-heap, retained as the
+	// differential-testing oracle.
+	BackendHeap
+)
+
 // Scheduler is the discrete-event core. It is not safe for concurrent
 // use; simulations are single-goroutine by design (determinism).
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	events []*Timer // binary min-heap on (at, seq)
-	free   []*Timer // recycled pooled timers
-	rng    *rand.Rand
-	fired  uint64 // total events executed, for diagnostics
+	now   Time
+	seq   uint64
+	q     eventQueue
+	free  []*Timer // recycled pooled timers
+	rng   *rand.Rand
+	fired uint64 // total events executed, for diagnostics
 }
 
 // NewScheduler returns a scheduler whose random stream is seeded with
-// seed. Two schedulers with equal seeds and equal event programs
-// produce identical executions.
+// seed, using the default timing-wheel event queue. Two schedulers with
+// equal seeds and equal event programs produce identical executions.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return NewSchedulerBackend(seed, BackendWheel)
+}
+
+// NewSchedulerBackend is NewScheduler with an explicit event-queue
+// backend. Executions are byte-identical across backends; the choice
+// only affects per-operation cost.
+func NewSchedulerBackend(seed int64, b Backend) *Scheduler {
+	s := &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	if b == BackendHeap {
+		s.q = &heapScheduler{}
+	} else {
+		s.q = newWheelScheduler()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -136,100 +210,7 @@ func (s *Scheduler) ForkRand() *rand.Rand {
 func (s *Scheduler) EventsFired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return len(s.events) }
-
-// The event queue is a hand-rolled binary min-heap rather than
-// container/heap: the comparator is a strict total order on (at, seq),
-// so pop order — the only observable property — is identical, while
-// the direct implementation avoids the interface-call and indirect
-// Less/Swap overhead that showed up as ~15% of campaign CPU time.
-
-func (s *Scheduler) less(i, j int) bool {
-	a, b := s.events[i], s.events[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (s *Scheduler) swap(i, j int) {
-	h := s.events
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (s *Scheduler) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s.swap(i, parent)
-		i = parent
-	}
-}
-
-// siftDown restores the heap below i, reporting whether i moved.
-func (s *Scheduler) siftDown(i int) bool {
-	start := i
-	n := len(s.events)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		min := left
-		if right := left + 1; right < n && s.less(right, left) {
-			min = right
-		}
-		if !s.less(min, i) {
-			break
-		}
-		s.swap(i, min)
-		i = min
-	}
-	return i > start
-}
-
-func (s *Scheduler) push(t *Timer) {
-	t.index = len(s.events)
-	s.events = append(s.events, t)
-	s.siftUp(t.index)
-}
-
-func (s *Scheduler) popMin() *Timer {
-	h := s.events
-	t := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[0].index = 0
-	h[last] = nil
-	s.events = h[:last]
-	if last > 0 {
-		s.siftDown(0)
-	}
-	t.index = -1
-	return t
-}
-
-func (s *Scheduler) remove(i int) {
-	h := s.events
-	t := h[i]
-	last := len(h) - 1
-	if i != last {
-		h[i] = h[last]
-		h[i].index = i
-	}
-	h[last] = nil
-	s.events = h[:last]
-	if i != last {
-		if !s.siftDown(i) {
-			s.siftUp(i)
-		}
-	}
-	t.index = -1
-}
+func (s *Scheduler) Pending() int { return s.q.len() }
 
 // schedule enqueues t at the absolute time at, assigning the next
 // insertion sequence number (the tie-break for simultaneous events).
@@ -240,7 +221,7 @@ func (s *Scheduler) schedule(t *Timer, at Time) {
 	t.at = at
 	t.seq = s.seq
 	s.seq++
-	s.push(t)
+	s.q.push(t)
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past
@@ -303,7 +284,7 @@ func (s *Scheduler) Reset(t *Timer, at Time) {
 		panic("sim: Reset on a non-persistent timer (use NewTimer)")
 	}
 	if t.index >= 0 {
-		s.remove(t.index)
+		s.q.remove(t)
 	}
 	s.schedule(t, at)
 }
@@ -315,7 +296,7 @@ func (s *Scheduler) Cancel(t *Timer) {
 	if t == nil || t.index < 0 {
 		return
 	}
-	s.remove(t.index)
+	s.q.remove(t)
 	s.release(t)
 }
 
@@ -345,10 +326,10 @@ func (s *Scheduler) release(t *Timer) {
 // Step executes the single earliest pending event. It reports false if
 // no events remain.
 func (s *Scheduler) Step() bool {
-	if len(s.events) == 0 {
+	if s.q.len() == 0 {
 		return false
 	}
-	t := s.popMin()
+	t := s.q.popMin()
 	s.now = t.at
 	s.fired++
 	if t.fnArg != nil {
@@ -367,7 +348,7 @@ func (s *Scheduler) Step() bool {
 // is later than limit. The clock is left at the time of the last
 // executed event, or advanced to limit if limit is reached.
 func (s *Scheduler) RunUntil(limit Time) {
-	for len(s.events) > 0 && s.events[0].at <= limit {
+	for s.q.len() > 0 && s.q.min() <= limit {
 		s.Step()
 	}
 	if s.now < limit {
