@@ -62,6 +62,34 @@ func TestScaleAllocBudget(t *testing.T) {
 	}
 }
 
+// TestNopTracerAllocFree asserts the disabled-tracing fast path stays
+// allocation-free: the no-op tracer invoked through the Tracer
+// interface — the exact shape of every probe site when tracing is on
+// but a probe discards the event — must never allocate. (When tracing
+// is off the probe sites skip the call entirely behind a nil check, so
+// this bounds the worst case.)
+func TestNopTracerAllocFree(t *testing.T) {
+	var tr Tracer = NopTracer{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.TxStart(0, 1, 2, 3, 0, 150000, 1500, 16, 0, 100, 0)
+		tr.Collision(50, 1, 2)
+		tr.TxEnd(100, 1, true)
+		tr.RxFrame(100, 2, 3, 16, 16)
+		tr.NAV(100, 4, 200)
+		tr.BAWindow(100, 2, 3, 7, 0xffff)
+		tr.MPDUFate(100, 2, 3, 7, 1, 0)
+		tr.HackState(100, 2, 3, 0, 1, 0)
+		tr.ROHCPacket(100, 2, true, 40)
+		tr.ROHCResult(100, 2, 8, 0, 0)
+		tr.TCPRetransmit(100, 80, 4096)
+		tr.TCPRTO(100, 80, 200)
+		tr.TCPCwnd(100, 80, 10, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("no-op tracer allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestSteadyStateAllocBudget(t *testing.T) {
 	cfg := Scenario80211n(ModeMoreData, 2)
 	n := node.New(cfg)

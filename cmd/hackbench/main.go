@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -73,6 +74,9 @@ func main() {
 	groupBy := flag.String("groupby", "", "comma-separated axis columns to group the aggregation by (default: swept axes minus seed; with -baseline: the baseline's grouping)")
 	tolFlag := flag.String("tol", "", "per-metric relative-tolerance overrides for -baseline, e.g. aggregate_mbps=0.10,retries=0.25")
 	progress := flag.Bool("progress", false, "report sweep progress (rows completed / total) on stderr")
+	traceRun := flag.Bool("trace", false, "with -sweep: write one JSONL flight-recorder trace per grid point (see -trace-dir)")
+	traceDir := flag.String("trace-dir", "traces", "with -trace: directory for the per-point JSONL traces")
+	airtime := flag.Bool("airtime", false, "with -sweep: attach the airtime ledger and emit airtime_*_pct / airtime_efficiency extra columns")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof)")
 	serve := flag.String("serve", "", "run the campaign daemon on this address (e.g. 127.0.0.1:8077)")
@@ -167,11 +171,20 @@ func main() {
 			saveBaseline: *saveBaseline, baseline: *baseline,
 			groupBy: *groupBy, tol: *tolFlag,
 			progress: *progress,
+			airtime:  *airtime,
+		}
+		if *traceRun {
+			sw.traceDir = *traceDir
 		}
 		switch {
 		case *dryRun:
 			finish(runDryRun(sw, o, *stateDir, *shardSize))
 		case *submit:
+			// Traces are local artifacts; the wire protocol does not carry
+			// tracer hooks (and must not, to keep shard results memoizable).
+			if sw.traceDir != "" || sw.airtime {
+				finish(2, fmt.Errorf("-trace and -airtime apply to local sweeps only, not -submit"))
+			}
 			finish(runSubmit(sw, o, *server, *shardSize, *wait, *minCached))
 		}
 		code, err := runSweep(sw, o)
@@ -219,6 +232,8 @@ type sweepConfig struct {
 	format, saveBaseline, baseline, groupBy string
 	tol                                     string
 	progress                                bool
+	traceDir                                string // non-empty: one JSONL per grid point
+	airtime                                 bool
 }
 
 // runSweep executes an ad-hoc campaign over a named scenario and
@@ -294,6 +309,20 @@ func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
 		Measure:  o.Measure,
 		Workers:  o.Workers,
 		Workload: workload,
+		Airtime:  sw.airtime,
+	}
+	if sw.traceDir != "" {
+		if err := os.MkdirAll(sw.traceDir, 0o755); err != nil {
+			return 0, err
+		}
+		spec.Trace = func(pt tcphack.CampaignPoint) tcphack.Tracer {
+			f, err := os.Create(filepath.Join(sw.traceDir, pointTraceName(pt)))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return nil
+			}
+			return tcphack.NewTraceWriter(f)
+		}
 	}
 	if sw.progress {
 		// Progress calls arrive serialized, once per completed row; on
@@ -320,6 +349,23 @@ func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
 		}
 	}
 	return emitAndCompare(sw, tcphack.RunCampaign(spec))
+}
+
+// pointTraceName derives a grid point's trace filename from its axis
+// values: stable across runs, unique within a sweep (the index), and
+// readable enough to find the cell you want.
+func pointTraceName(pt tcphack.CampaignPoint) string {
+	name := fmt.Sprintf("point-%04d_%v_c%d_seed%d", pt.Index, pt.Mode, pt.Clients, pt.Seed)
+	if pt.Adapter != "" {
+		name += "_" + strings.ReplaceAll(pt.Adapter, ":", "-")
+	}
+	if pt.LossPct != 0 {
+		name += fmt.Sprintf("_loss%g", pt.LossPct)
+	}
+	if pt.SNRdB != 0 {
+		name += fmt.Sprintf("_snr%g", pt.SNRdB)
+	}
+	return name + ".jsonl"
 }
 
 // groupInt formats a count with comma thousands grouping (1234567 →
@@ -597,13 +643,14 @@ func fig11(o tcphack.ExperimentOptions, method string) {
 // per cell (must be zero everywhere).
 func lossResilience(o tcphack.ExperimentOptions) {
 	rows := tcphack.LossResilience(o, nil, nil)
-	fmt.Printf("%8s  %-10s %-8s %14s %10s %14s\n",
-		"loss", "mode", "adapter", "goodput (Mbps)", "retries", "rohc failures")
+	fmt.Printf("%8s  %-10s %-8s %14s %10s %14s %9s\n",
+		"loss", "mode", "adapter", "goodput (Mbps)", "retries", "rohc failures", "air eff")
 	for _, r := range rows {
-		fmt.Printf("%7.1f%%  %-10v %-8s %8.2f ±%4.2f %10.0f %14.0f\n",
+		fmt.Printf("%7.1f%%  %-10v %-8s %8.2f ±%4.2f %10.0f %14.0f %9.3f\n",
 			r.LossPct, r.Mode, r.Adapter, r.GoodputMbps, r.GoodputStdDev,
-			r.Retries, r.DecompFailures)
+			r.Retries, r.DecompFailures, r.AirtimeEff)
 	}
+	fmt.Println("air eff: useful airtime / total busy airtime (airtime ledger; higher is better).")
 }
 
 func fig12(o tcphack.ExperimentOptions) {

@@ -44,7 +44,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	upload := flag.Bool("upload", false, "upload instead of download")
 	rateStats := flag.Bool("rate-stats", false, "print the Minstrel adapters' learned per-rate statistics")
+	traceFlag := flag.String("trace", "", "write a JSONL flight-recorder trace to this file")
+	airtime := flag.Bool("airtime", false, "print the per-station airtime ledger")
+	validateTrace := flag.String("validate-trace", "", "schema-check a JSONL trace file and exit")
 	flag.Parse()
+
+	if *validateTrace != "" {
+		f, err := os.Open(*validateTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		count, err := tcphack.ValidateTraceJSONL(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *validateTrace, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d events, schema OK\n", *validateTrace, count)
+		return
+	}
 
 	if *list {
 		for _, e := range tcphack.Scenarios() {
@@ -145,6 +164,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability: a JSONL trace writer and/or the airtime ledger,
+	// fanned out by TraceMulti. Attaching them cannot perturb the run.
+	var tw *tcphack.TraceWriter
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tw = tcphack.NewTraceWriter(f)
+	}
+	var ledger *tcphack.AirtimeLedger
+	if *airtime {
+		ledger = tcphack.NewAirtimeLedger()
+	}
+	if tw != nil || ledger != nil {
+		var trs []tcphack.Tracer
+		if tw != nil {
+			trs = append(trs, tw)
+		}
+		if ledger != nil {
+			trs = append(trs, ledger)
+		}
+		cfg.Tracer = tcphack.TraceMulti(trs...)
+	}
+
 	n := tcphack.NewNetwork(cfg)
 	startFlows(n, tcphack.CampaignPoint{Clients: cfg.Clients})
 	n.Run(tcphack.Duration(*warmup))
@@ -193,6 +238,46 @@ func main() {
 
 	if *rateStats {
 		printRateStats(n, cfg.Clients)
+	}
+
+	if ledger != nil {
+		printAirtime(ledger.Snapshot(n.Sched.Now()))
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d events -> %s\n", tw.Count(), *traceFlag)
+	}
+}
+
+// printAirtime renders the airtime ledger as per-station percentages
+// of elapsed simulated time, and exits nonzero if the ledger failed
+// to account for every nanosecond (a bug, never expected).
+func printAirtime(rep tcphack.AirtimeReport) {
+	pct := func(d tcphack.Duration) float64 {
+		if rep.Elapsed == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(rep.Elapsed)
+	}
+	fmt.Printf("\nairtime (elapsed %.3fs, busy %.1f%%, idle %.1f%%, efficiency %.3f):\n",
+		float64(rep.Elapsed)/float64(tcphack.Second), pct(rep.Busy()), pct(rep.Idle),
+		rep.Efficiency())
+	fmt.Printf("  %-6s %8s %9s %7s %8s %7s\n", "sta", "data", "wifi-ack", "bar", "tcp-ack", "retry")
+	row := func(name string, b tcphack.AirtimeBuckets) {
+		fmt.Printf("  %-6s %7.2f%% %8.2f%% %6.2f%% %7.2f%% %6.2f%%\n",
+			name, pct(b.Data), pct(b.WifiAck), pct(b.BAR), pct(b.TCPAck), pct(b.Retry))
+	}
+	row("all", rep.Total)
+	for _, s := range rep.Stations {
+		row(fmt.Sprintf("%d", s.Station), s.Buckets)
+	}
+	if !rep.Conserved() {
+		fmt.Fprintf(os.Stderr, "airtime: conservation violated: busy %d + idle %d != elapsed %d\n",
+			rep.Busy(), rep.Idle, rep.Elapsed)
+		os.Exit(1)
 	}
 }
 

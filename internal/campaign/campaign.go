@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"tcphack/internal/phy"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
+	"tcphack/internal/trace"
 )
 
 // Axes are the sweep dimensions. An empty axis is not swept: the base
@@ -113,6 +115,17 @@ type Spec struct {
 	// Collect extracts additional metrics into the point's Result
 	// (typically into Result.Extra) after the simulation finishes.
 	Collect func(n *node.Network, r *Result)
+	// Trace, when set, returns a tracer to attach to the grid point's
+	// network (nil attaches nothing for that point). If the returned
+	// tracer is an io.Closer it is closed when the point finishes —
+	// the hook for per-point JSONL trace files. Tracing is
+	// determinism-neutral, so attaching one changes no metric.
+	Trace func(pt Point) trace.Tracer
+	// Airtime attaches an airtime ledger to every grid point and writes
+	// the breakdown into Result.Extra: airtime_{data,wifi_ack,bar,
+	// tcp_ack,retry,idle}_pct (shares of wall-clock medium time) and
+	// airtime_efficiency (useful share of busy airtime).
+	Airtime bool
 	// Skip prunes a grid point without simulating; its Result row is
 	// emitted with Skipped set and zero metrics.
 	Skip func(pt Point) bool
@@ -417,7 +430,25 @@ func (s Spec) runPoint(pt Point) Result {
 		r.Skipped = true
 		return r
 	}
-	n := s.Build(s.config(pt))
+	cfg := s.config(pt)
+	var userTr trace.Tracer
+	if s.Trace != nil {
+		userTr = s.Trace(pt)
+	}
+	var ledger *trace.AirtimeLedger
+	if s.Airtime {
+		ledger = trace.NewAirtimeLedger()
+	}
+	if userTr != nil || ledger != nil {
+		// Build the list member-by-member: a nil *AirtimeLedger boxed
+		// into the Tracer interface would defeat Multi's nil filtering.
+		trs := []trace.Tracer{cfg.Tracer, userTr}
+		if ledger != nil {
+			trs = append(trs, ledger)
+		}
+		cfg.Tracer = trace.Multi(trs...)
+	}
+	n := s.Build(cfg)
 	s.Workload(n, pt)
 
 	if s.Duration > 0 {
@@ -471,6 +502,24 @@ func (s Spec) runPoint(pt Point) Result {
 		if f.Done {
 			r.FlowsDone++
 		}
+	}
+	if ledger != nil {
+		rep := ledger.Snapshot(now)
+		if r.Extra == nil {
+			r.Extra = make(map[string]float64, 7)
+		}
+		if el := float64(rep.Elapsed); el > 0 {
+			r.Extra["airtime_data_pct"] = 100 * float64(rep.Total.Data) / el
+			r.Extra["airtime_wifi_ack_pct"] = 100 * float64(rep.Total.WifiAck) / el
+			r.Extra["airtime_bar_pct"] = 100 * float64(rep.Total.BAR) / el
+			r.Extra["airtime_tcp_ack_pct"] = 100 * float64(rep.Total.TCPAck) / el
+			r.Extra["airtime_retry_pct"] = 100 * float64(rep.Total.Retry) / el
+			r.Extra["airtime_idle_pct"] = 100 * float64(rep.Idle) / el
+		}
+		r.Extra["airtime_efficiency"] = rep.Efficiency()
+	}
+	if c, ok := userTr.(io.Closer); ok {
+		c.Close()
 	}
 	if s.Collect != nil {
 		s.Collect(n, &r)

@@ -19,6 +19,7 @@ import (
 
 	"tcphack/internal/phy"
 	"tcphack/internal/sim"
+	"tcphack/internal/trace"
 )
 
 // Pos is a 2-D position in metres.
@@ -55,6 +56,9 @@ func (o Outcome) String() string {
 
 // Transmission describes one PPDU in flight.
 type Transmission struct {
+	// ID numbers transmissions from 1 in transmit order; trace
+	// tx_start / tx_end / collision records correlate through it.
+	ID       uint64
 	Source   Radio
 	Rate     phy.Rate
 	Length   int // PPDU payload length in bytes
@@ -146,6 +150,13 @@ type Medium struct {
 	active   map[*Transmission]struct{}
 	finishFn func(any) // persistent Post callback for transmission ends
 
+	// Tracer, when non-nil, receives tx_start / tx_end / collision
+	// probes. Assign it before the first Transmit; it observes only and
+	// never perturbs the medium's RNG or event stream.
+	Tracer trace.Tracer
+	// nextMeta annotates the next Transmit for tracing (see StageTx).
+	nextMeta TxMeta
+
 	// Stats.
 	TxCount        uint64
 	CollidedTx     uint64
@@ -184,6 +195,29 @@ func (m *Medium) Attach(r Radio) { m.radios = append(m.radios, r) }
 // Busy reports whether any transmission is in flight.
 func (m *Medium) Busy() bool { return len(m.active) > 0 }
 
+// TxMeta annotates the next Transmit call for tracing: the MAC stages
+// it (StageTx) immediately before transmitting, carrying the frame
+// class and addressing the channel layer cannot see, so the tx_start
+// probe is emitted inside Transmit — before any collision probes for
+// the same transmission.
+type TxMeta struct {
+	// Src and Dst are MAC addresses.
+	Src, Dst uint16
+	// Class is the frame's airtime-attribution class.
+	Class trace.FrameClass
+	// MPDUs is the A-MPDU batch size (0 for control frames).
+	MPDUs int
+	// Retried counts MPDUs in the batch carrying a retry.
+	Retried int
+	// Extra is the HACK-payload share of an ACK frame's duration.
+	Extra sim.Duration
+}
+
+// StageTx stages tracing metadata for the next Transmit call. Only
+// useful when a Tracer is attached; the metadata is consumed (and
+// reset) by that Transmit.
+func (m *Medium) StageTx(meta TxMeta) { m.nextMeta = meta }
+
 // Transmit starts sending frame at rate; the PPDU carries length
 // payload bytes. Completion (and delivery at every other radio) is
 // scheduled automatically. Returns the transmission for tracing.
@@ -198,12 +232,22 @@ func (m *Medium) Transmit(src Radio, rate phy.Rate, length int, frame any) *Tran
 		End:    now + phy.FrameDuration(rate, length),
 	}
 	m.TxCount++
+	tx.ID = m.TxCount
+	if m.Tracer != nil {
+		meta := m.nextMeta
+		m.nextMeta = TxMeta{}
+		m.Tracer.TxStart(now, tx.ID, meta.Src, meta.Dst, meta.Class,
+			rate.Kbps, length, meta.MPDUs, meta.Retried, tx.End, meta.Extra)
+	}
 	// Any overlap collides every involved transmission, both ways. A
 	// transmission ending exactly now does not overlap (its finish event
 	// may simply not have run yet at this instant).
 	for other := range m.active {
 		if other.End <= now {
 			continue
+		}
+		if m.Tracer != nil {
+			m.Tracer.Collision(now, tx.ID, other.ID)
 		}
 		if !tx.collided {
 			tx.collided = true
@@ -229,6 +273,9 @@ func (m *Medium) finish(tx *Transmission) {
 	delete(m.active, tx)
 	if len(m.active) == 0 {
 		m.AirtimeBusy += m.sched.Now() - m.lastBusyStart
+	}
+	if m.Tracer != nil {
+		m.Tracer.TxEnd(m.sched.Now(), tx.ID, tx.collided)
 	}
 	for _, r := range m.radios {
 		if r == tx.Source {

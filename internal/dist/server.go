@@ -580,7 +580,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 //	POST /lease           {"worker": w} → LeaseGrant | 204
 //	POST /heartbeat       {"worker": w, "job": id, "shard": n} → {"renewed": bool}
 //	POST /complete        {"worker": w, "job": id, "shard": n, "rows": [...]} → {"duplicate": bool}
-//	GET  /metrics         → Metrics
+//	GET  /metrics         → Metrics (JSON; Prometheus text exposition
+//	                        when the Accept header prefers text/plain)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -675,6 +676,11 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, map[string]bool{"duplicate": dup})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			writePrometheus(w, s.MetricsSnapshot())
+			return
+		}
 		writeJSON(w, s.MetricsSnapshot())
 	})
 	return mux

@@ -30,6 +30,7 @@ var auditedPackages = []string{
 	"internal/sim",
 	"internal/node",
 	"internal/dist",
+	"internal/trace",
 	".", // the public tcphack package
 }
 

@@ -18,6 +18,11 @@ type LossResilienceRow struct {
 	GoodputStdDev  float64
 	Retries        float64
 	DecompFailures float64
+	// AirtimeEff is useful airtime over total busy airtime (the airtime
+	// ledger's efficiency metric): the medium-utilization view of what
+	// goodput alone can hide — a mode can hold goodput while burning
+	// more of the medium on retries and ACK transport.
+	AirtimeEff float64
 }
 
 // LossResilienceSNRdB is the channel SNR the loss-resilience sweep
@@ -49,6 +54,7 @@ func LossResilience(o Options, losses []float64, adapters []string) []LossResili
 	modes := []hack.Mode{hack.ModeOff, hack.ModeMoreData}
 
 	spec := o.spec("loss-resilience", base)
+	spec.Airtime = true
 	spec.Axes = campaign.Axes{
 		Modes:    modes,
 		Loss:     losses,
@@ -72,6 +78,7 @@ func LossResilience(o Options, losses []float64, adapters []string) []LossResili
 					GoodputMbps:    agg.MeanAt("aggregate_mbps", key...),
 					Retries:        agg.MeanAt("retries", key...),
 					DecompFailures: agg.MeanAt("decomp_failures", key...),
+					AirtimeEff:     agg.MeanAt("extra.airtime_efficiency", key...),
 				}
 				if st, ok := agg.StatAt("aggregate_mbps", key...); ok {
 					row.GoodputStdDev = st.StdDev

@@ -8,6 +8,7 @@ import (
 	"tcphack/internal/rohc"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
+	"tcphack/internal/trace"
 )
 
 // Mode selects the ACK-holding policy.
@@ -74,6 +75,14 @@ const (
 	StateResyncing
 )
 
+// trace.DriverState mirrors this numbering; these constant indices
+// fail to compile if the two enumerations ever drift.
+var (
+	_ = [1]struct{}{}[StateNative-RecoveryState(trace.StateNative)]
+	_ = [1]struct{}{}[StateCompressing-RecoveryState(trace.StateCompressing)]
+	_ = [1]struct{}{}[StateResyncing-RecoveryState(trace.StateResyncing)]
+)
+
 func (s RecoveryState) String() string {
 	switch s {
 	case StateNative:
@@ -121,6 +130,14 @@ type Config struct {
 	// (default DefaultMaxPayload). It must stay within the MAC's
 	// AckPayloadAllowance or response frames outrun the ACK timeout.
 	MaxPayload int
+
+	// Addr is the owning station's MAC address, labeling trace probes.
+	// Only consulted when Tracer is non-nil.
+	Addr mac.Addr
+	// Tracer, when non-nil, receives recovery-machine transitions and
+	// ROHC codec probes. Tracers observe only; they never perturb RNG
+	// draws, event order, or protocol state.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +259,19 @@ func (d *Driver) peer(a mac.Addr) *peerState {
 // diagnostics).
 func (d *Driver) PeerState(peer mac.Addr) RecoveryState { return d.peer(peer).state }
 
+// setState moves the recovery machine toward dst to a new state,
+// emitting the transition probe. No-op when the state is unchanged.
+func (d *Driver) setState(dst mac.Addr, ps *peerState, to RecoveryState, cause trace.Cause) {
+	if ps.state == to {
+		return
+	}
+	if d.cfg.Tracer != nil {
+		d.cfg.Tracer.HackState(d.sched.Now(), uint16(d.cfg.Addr), uint16(dst),
+			trace.DriverState(ps.state), trace.DriverState(to), cause)
+	}
+	ps.state = to
+}
+
 // SubmitAck intercepts an outgoing pure TCP ACK destined to dst.
 // Anything that is not a pure ACK must bypass the driver.
 func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
@@ -257,7 +287,7 @@ func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
 			d.goNative(dst, ps, p)
 			return
 		}
-		ps.state = StateCompressing
+		d.setState(dst, ps, StateCompressing, trace.CauseHold)
 	case ModeOpportunistic:
 		// Contend natively and register a compressed copy with the NIC;
 		// whichever path wins the medium first carries the ACK. (The
@@ -282,7 +312,7 @@ func (d *Driver) SubmitAck(dst mac.Addr, p *packet.Packet) {
 			d.goNative(dst, ps, p)
 			return
 		}
-		ps.state = StateCompressing
+		d.setState(dst, ps, StateCompressing, trace.CauseHold)
 		d.armHoldTimer(dst, ps)
 	}
 }
@@ -315,6 +345,9 @@ func (d *Driver) hold(ps *peerState, p *packet.Packet, expires sim.Time) bool {
 		return false
 	}
 	tuple, _ := p.Tuple()
+	if d.cfg.Tracer != nil {
+		d.cfg.Tracer.ROHCPacket(d.sched.Now(), uint16(d.cfg.Addr), rohc.IsIR(data), len(data))
+	}
 	ps.pending = append(ps.pending, heldAck{
 		pkt: p, data: data, msn: msn, cid: d.comp.CID(tuple),
 		readyAt: d.sched.Now() + d.cfg.DriverLatency,
@@ -332,7 +365,7 @@ func (d *Driver) hold(ps *peerState, p *packet.Packet, expires sim.Time) bool {
 // therefore never mixes the two paths — it resyncs, then goes native.
 func (d *Driver) goNative(dst mac.Addr, ps *peerState, p *packet.Packet) {
 	if ps.held() {
-		d.enterResync(dst, ps)
+		d.enterResync(dst, ps, trace.CauseNativeInterleave)
 	}
 	d.sendNative(dst, p)
 }
@@ -363,7 +396,7 @@ func (d *Driver) sendNative(dst mac.Addr, p *packet.Packet) {
 // safe no matter which replay natives arrive, in what order, or when.
 // Reopening therefore does not wait on the replay — the next held ACK
 // restarts compression immediately.
-func (d *Driver) enterResync(dst mac.Addr, ps *peerState) {
+func (d *Driver) enterResync(dst mac.Addr, ps *peerState, cause trace.Cause) {
 	pending, unconf := ps.pending, ps.unconfirmed
 	ps.pending, ps.unconfirmed = nil, nil
 	ps.syncSeen = false
@@ -374,7 +407,7 @@ func (d *Driver) enterResync(dst mac.Addr, ps *peerState) {
 		return
 	}
 	d.Resyncs++
-	ps.state = StateResyncing
+	d.setState(dst, ps, StateResyncing, cause)
 
 	// Newest retained ACK per flow, for flows with no pending member
 	// (pending replays supersede retained state of the same flow).
@@ -428,7 +461,7 @@ func (d *Driver) flushExpired(dst mac.Addr, ps *peerState) {
 		d.armHoldTimer(dst, ps)
 		return
 	}
-	d.enterResync(dst, ps)
+	d.enterResync(dst, ps, trace.CauseTimerFlush)
 }
 
 // frameSafe checks the §3.4 re-ride guards for an assembled frame:
@@ -526,7 +559,7 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 		// ACK can safely carry. Re-anchor instead of emitting a frame
 		// the peer would time out on or mis-deduplicate.
 		ps.pending = append(ride, late...)
-		d.enterResync(peer, ps)
+		d.enterResync(peer, ps, trace.CauseGuard)
 		return nil
 	}
 
@@ -576,7 +609,7 @@ func (d *Driver) BuildAckPayload(peer mac.Addr) []byte {
 		// link-layer ACK arrived; the absolute re-anchor if it was
 		// lost) and flushes ACKs that missed the DMA window (the
 		// Figures 3-4 race) to native transmission.
-		d.enterResync(peer, ps)
+		d.enterResync(peer, ps, trace.CauseChainClose)
 	}
 	return payload
 }
@@ -590,6 +623,10 @@ func (d *Driver) AckPayloadReceived(peer mac.Addr, payload []byte) {
 	d.FailNoAnchor += uint64(res.FailNoAnchor)
 	d.FailNoContext += uint64(res.FailNoContext)
 	d.FailCRC += uint64(res.FailCRC)
+	if d.cfg.Tracer != nil {
+		d.cfg.Tracer.ROHCResult(d.sched.Now(), uint16(d.cfg.Addr),
+			len(res.Packets), res.Duplicates, res.Failures)
+	}
 	if err != nil {
 		d.DecompFailures++
 		return
@@ -632,7 +669,7 @@ func (d *Driver) DataIndication(peer mac.Addr, ind mac.DataInd) {
 			break
 		}
 		if ps.syncSeen {
-			d.enterResync(peer, ps)
+			d.enterResync(peer, ps, trace.CauseSyncGap)
 			break
 		}
 		ps.syncSeen = true

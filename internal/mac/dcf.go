@@ -78,6 +78,9 @@ func (d *dcf) setNAV(t sim.Time) {
 	}
 	wasBusy := d.busy()
 	d.navUntil = t
+	if tr := d.st.cfg.Tracer; tr != nil {
+		tr.NAV(d.st.sched.Now(), uint16(d.st.cfg.Addr), t)
+	}
 	if !wasBusy {
 		d.freeze()
 	}

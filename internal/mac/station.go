@@ -9,6 +9,7 @@ import (
 	"tcphack/internal/phy"
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
+	"tcphack/internal/trace"
 )
 
 // Config parameterizes one station.
@@ -61,6 +62,12 @@ type Config struct {
 	// AckPayloadAllowance sizes the ACK timeout for HACK-lengthened
 	// responses: the longest compressed-ACK payload expected.
 	AckPayloadAllowance int
+
+	// Tracer, when non-nil, receives MAC-layer probes (A-MPDU decode
+	// results, NAV updates, Block ACK window state, MPDU fates) and
+	// stages tx_start metadata on the medium before each transmission.
+	// Tracers observe only; they never perturb RNG or event order.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -448,18 +455,35 @@ func (st *Station) sendData(q *destQueue, waited sim.Duration) {
 	q.lastDataRate = rate
 	frame := st.buildFrame(q, rate)
 	wire := frame.WireLen(rate.HT)
+
+	allAck := true
+	retried := 0
+	for _, m := range frame.MPDUs {
+		if !m.MSDU.IsTCPAck {
+			allAck = false
+		}
+		if m.Retries > 0 {
+			retried++
+		}
+	}
+	if st.cfg.Tracer != nil {
+		class := trace.ClassData
+		switch {
+		case retried > 0:
+			class = trace.ClassRetry
+		case allAck:
+			class = trace.ClassTCPAck
+		}
+		st.medium.StageTx(channel.TxMeta{
+			Src: uint16(st.cfg.Addr), Dst: uint16(q.dst), Class: class,
+			MPDUs: len(frame.MPDUs), Retried: retried,
+		})
+	}
 	tx := st.medium.Transmit(st, rate, wire, frame)
 
 	st.Stats.FramesSent++
 	st.Stats.MPDUsSent += uint64(len(frame.MPDUs))
 
-	allAck := true
-	for _, m := range frame.MPDUs {
-		if !m.MSDU.IsTCPAck {
-			allAck = false
-			break
-		}
-	}
 	if allAck {
 		st.TCPAckTime.ChannelWait += waited
 		st.TCPAckTime.TCPAckAir += tx.Duration()
@@ -555,6 +579,11 @@ func (st *Station) sendBAR(q *destQueue, waited sim.Duration) {
 	dataRate := st.lastRateFor(q)
 	bar.Dur = phy.SIFS + st.expectedRespDur(dataRate, true)
 	rate := st.ackRateFor(dataRate)
+	if st.cfg.Tracer != nil {
+		st.medium.StageTx(channel.TxMeta{
+			Src: uint16(st.cfg.Addr), Dst: uint16(q.dst), Class: trace.ClassBAR,
+		})
+	}
 	tx := st.medium.Transmit(st, rate, barLen, bar)
 	st.Stats.BARsSent++
 	ex := &exchange{q: q, bar: bar, txEnd: tx.End}
@@ -616,6 +645,9 @@ func (st *Station) rxData(f *DataFrame, tx *channel.Transmission) {
 		}
 	}
 	st.rxScratch = decoded[:0]
+	if st.cfg.Tracer != nil {
+		st.cfg.Tracer.RxFrame(st.sched.Now(), uint16(f.From), uint16(f.To), len(f.MPDUs), len(decoded))
+	}
 	if len(decoded) == 0 {
 		// Nothing decodable: the station cannot even tell the frame was
 		// addressed to it; no response, sender times out.
@@ -679,6 +711,22 @@ func (st *Station) sendResponse(peer Addr, block bool, elicitRate phy.Rate) {
 	}
 	f.Payload = st.Hooks.BuildAckPayload(peer)
 	rate := st.ackRateFor(elicitRate)
+	if st.cfg.Tracer != nil {
+		if block {
+			st.cfg.Tracer.BAWindow(st.sched.Now(), uint16(st.cfg.Addr), uint16(peer), f.StartSeq, f.Bitmap)
+		}
+		var extra sim.Duration
+		if len(f.Payload) > 0 {
+			base := ackLen
+			if block {
+				base = blockAckLen
+			}
+			extra = phy.FrameDuration(rate, f.WireLen()) - phy.FrameDuration(rate, base)
+		}
+		st.medium.StageTx(channel.TxMeta{
+			Src: uint16(st.cfg.Addr), Dst: uint16(peer), Class: trace.ClassAck, Extra: extra,
+		})
+	}
 	tx := st.medium.Transmit(st, rate, f.WireLen(), f)
 	if block {
 		st.Stats.BlockAcksSent++
@@ -765,6 +813,9 @@ func (st *Station) recordDelivered(q *destQueue, m *MPDU) {
 		st.Stats.DeliveredRetried++
 	}
 	st.cfg.RateAdapter.OnTxResult(q.dst, st.lastRateFor(q), true, m.Retries)
+	if st.cfg.Tracer != nil {
+		st.cfg.Tracer.MPDUFate(st.sched.Now(), uint16(st.cfg.Addr), uint16(q.dst), m.Seq, m.Retries, trace.FateDelivered)
+	}
 	if st.OnMSDUResolved != nil {
 		st.OnMSDUResolved(m.MSDU, true)
 	}
@@ -776,6 +827,9 @@ func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
 	m.Retries++
 	if m.Retries > st.cfg.RetryLimit {
 		st.Stats.Expired++
+		if st.cfg.Tracer != nil {
+			st.cfg.Tracer.MPDUFate(st.sched.Now(), uint16(st.cfg.Addr), uint16(q.dst), m.Seq, m.Retries, trace.FateExpired)
+		}
 		if st.OnMSDUResolved != nil {
 			st.OnMSDUResolved(m.MSDU, false)
 		}
@@ -784,6 +838,9 @@ func (st *Station) retryOrDrop(q *destQueue, m *MPDU) {
 		return
 	}
 	st.Stats.Retries++
+	if st.cfg.Tracer != nil {
+		st.cfg.Tracer.MPDUFate(st.sched.Now(), uint16(st.cfg.Addr), uint16(q.dst), m.Seq, m.Retries, trace.FateRetry)
+	}
 	q.retryQ = append(q.retryQ, m)
 }
 
@@ -850,6 +907,9 @@ func (st *Station) onRespTimeout() {
 		if m.Retries > st.cfg.RetryLimit {
 			st.Stats.Expired++
 			q.retryQ = q.retryQ[1:]
+			if st.cfg.Tracer != nil {
+				st.cfg.Tracer.MPDUFate(st.sched.Now(), uint16(st.cfg.Addr), uint16(q.dst), m.Seq, m.Retries, trace.FateExpired)
+			}
 			if st.OnMSDUResolved != nil {
 				st.OnMSDUResolved(m.MSDU, false)
 			}
@@ -858,6 +918,9 @@ func (st *Station) onRespTimeout() {
 			st.dcf.onTxSuccess()
 		} else {
 			st.Stats.Retries++
+			if st.cfg.Tracer != nil {
+				st.cfg.Tracer.MPDUFate(st.sched.Now(), uint16(st.cfg.Addr), uint16(q.dst), m.Seq, m.Retries, trace.FateRetry)
+			}
 			st.dcf.onTxFailure()
 		}
 		st.putFrame(ex.frame)

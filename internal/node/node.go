@@ -26,6 +26,7 @@ import (
 	"tcphack/internal/sim"
 	"tcphack/internal/stats"
 	"tcphack/internal/tcp"
+	"tcphack/internal/trace"
 )
 
 // Config parameterizes a Network.
@@ -81,6 +82,13 @@ type Config struct {
 	// TCPConfig is the base endpoint configuration (ports/addresses
 	// are filled per flow).
 	TCPConfig tcp.Config
+
+	// Tracer, when non-nil, is threaded through every layer — channel,
+	// MAC, HACK driver, TCP — as the network is assembled. Tracing is
+	// determinism-neutral: attaching a tracer perturbs no RNG stream,
+	// event ordering, or protocol decision; with a nil Tracer every
+	// probe site is a single pointer check.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -123,7 +131,12 @@ func (c Config) withDefaults() Config {
 		c.WireDelay = sim.Millisecond
 	}
 	if c.TCPConfig.MSS == 0 {
+		tr := c.TCPConfig.Tracer
 		c.TCPConfig = tcp.DefaultConfig()
+		c.TCPConfig.Tracer = tr
+	}
+	if c.TCPConfig.Tracer == nil {
+		c.TCPConfig.Tracer = c.Tracer
 	}
 	return c
 }
@@ -228,6 +241,7 @@ func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	sched := sim.NewSchedulerBackend(cfg.Seed, cfg.SchedulerBackend)
 	medium := channel.New(sched, cfg.Err)
+	medium.Tracer = cfg.Tracer
 	n := &Network{
 		Cfg:             cfg,
 		Sched:           sched,
@@ -315,6 +329,7 @@ func New(cfg Config) *Network {
 			AckTurnaround:       cfg.AckTurnaround,
 			AckTimeoutSlack:     cfg.AckTimeoutSlack,
 			AckPayloadAllowance: payloadAllowance,
+			Tracer:              cfg.Tracer,
 		})
 	}
 
@@ -344,6 +359,8 @@ func (n *Network) newNode(st *mac.Station, ip packet.Addr, addr mac.Addr) *WifiN
 	d := hack.NewDriver(n.Sched, hack.Config{
 		Mode:          n.Cfg.Mode,
 		DriverLatency: n.Cfg.DriverLatency,
+		Addr:          addr,
+		Tracer:        n.Cfg.Tracer,
 	})
 	d.EnqueueNative = func(dst mac.Addr, p *packet.Packet) {
 		if !st.EnqueuePacket(dst, p, true) {

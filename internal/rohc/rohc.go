@@ -392,6 +392,41 @@ func AppendAnchor(dst, data []byte, msn uint8) []byte {
 	return append(dst, data[2:]...)
 }
 
+// IsIR reports whether a single compressed record is an IR refresh —
+// the self-contained form carrying the static chain. Observability
+// helper (the decompressor makes its own determination inline); a
+// malformed record reports false.
+func IsIR(data []byte) bool {
+	if len(data) < 2 {
+		return false
+	}
+	flags := data[1] >> 4
+	if flags&flagOptExt == 0 {
+		return false
+	}
+	i := 2
+	if flags&flagExtMSN != 0 {
+		i++
+	}
+	if i > len(data) {
+		return false
+	}
+	if flags&flagAckExplicit != 0 {
+		_, n := binary.Uvarint(data[i:])
+		if n <= 0 {
+			return false
+		}
+		i += n
+	}
+	if flags&flagWinChanged != 0 {
+		i += 2
+	}
+	if i >= len(data) {
+		return false
+	}
+	return data[i]&optIR != 0
+}
+
 // Compress encodes a pure TCP ACK against its flow context, in the
 // compact 4-bit-MSN form; msn is the ACK's full master sequence
 // number, which the frame assembler passes to Anchor for the first

@@ -11,6 +11,7 @@ import (
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
 	"tcphack/internal/sim"
+	"tcphack/internal/trace"
 )
 
 // Option mutates a node.Config under construction.
@@ -199,6 +200,14 @@ func WithWire(rateKbps int, delay sim.Duration) Option {
 // fields without a dedicated option.
 func WithConfig(fn func(*node.Config)) Option {
 	return Option(fn)
+}
+
+// WithTracer attaches tr to every layer of the assembled network
+// (channel, MAC, HACK driver, TCP). Tracing is determinism-neutral:
+// the run's RNG streams, event order, and results are byte-identical
+// with or without a tracer attached.
+func WithTracer(tr trace.Tracer) Option {
+	return func(c *node.Config) { c.Tracer = tr }
 }
 
 // Entry is one named scenario in the registry.

@@ -57,6 +57,17 @@
 // counter, so mixing them cannot perturb simultaneous-event ordering:
 // a Reset or Post consumes exactly one sequence number, the same as
 // the At call it replaces.
+//
+// # Determinism contract for observers
+//
+// Observability layers (internal/trace) hook the protocol modules via
+// probe callbacks. The contract that keeps golden baselines
+// byte-identical with tracing on or off: observers are invoked
+// synchronously from already-scheduled events and must never schedule
+// events, consume RNG draws (ForkRand order is part of a run's
+// identity), or mutate protocol state. Probe sites therefore live
+// outside the scheduler's hot decisions — a nil observer costs one
+// pointer check and nothing else.
 package sim
 
 import (

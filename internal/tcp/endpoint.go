@@ -25,6 +25,7 @@ import (
 
 	"tcphack/internal/packet"
 	"tcphack/internal/sim"
+	"tcphack/internal/trace"
 )
 
 // Connection states (the subset a unidirectional-transfer simulator
@@ -91,6 +92,11 @@ type Config struct {
 	InitialCwnd int
 	// MinRTO clamps the retransmission timeout (default 200 ms).
 	MinRTO sim.Duration
+
+	// Tracer, when non-nil, receives TCP probes (retransmissions, RTO
+	// expiries, congestion-window changes), labeled by LocalPort.
+	// Tracers observe only; they never perturb protocol state.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {

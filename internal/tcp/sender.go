@@ -125,6 +125,9 @@ func (ep *Endpoint) emitSegment(seq uint32, n int, rtx bool) {
 	ep.Stats.SegsSent++
 	if rtx {
 		ep.Stats.Retransmits++
+		if ep.cfg.Tracer != nil {
+			ep.cfg.Tracer.TCPRetransmit(ep.sched.Now(), ep.cfg.LocalPort, seq)
+		}
 	} else if !ep.rttValid && !ep.tsEnabled {
 		// Karn's algorithm: time one un-retransmitted segment.
 		ep.rttSeq = seq + uint32(n)
@@ -188,6 +191,7 @@ func (ep *Endpoint) newAck(ack uint32, t *packet.TCP) {
 			// Full acknowledgment: leave recovery.
 			ep.inRec = false
 			ep.cwnd = ep.ssthresh
+			ep.traceCwnd()
 		} else {
 			// Partial ACK: keep filling holes, pipe-limited (RFC 6675).
 			ep.fillHoles()
@@ -255,8 +259,17 @@ func (ep *Endpoint) enterRecovery() {
 	}
 	ep.ssthresh = half
 	ep.cwnd = ep.ssthresh
+	ep.traceCwnd()
 	ep.fillHoles()
 	ep.armRTX()
+}
+
+// traceCwnd emits the congestion-window probe at loss-event edges
+// (recovery entry/exit, RTO collapse) — the points a cwnd plot needs.
+func (ep *Endpoint) traceCwnd() {
+	if ep.cfg.Tracer != nil {
+		ep.cfg.Tracer.TCPCwnd(ep.sched.Now(), ep.cfg.LocalPort, int(ep.cwnd), int(ep.ssthresh))
+	}
 }
 
 // sackedBytes returns the SACKed octets within [from, to).
@@ -469,6 +482,9 @@ func (ep *Endpoint) onRTO() {
 		return
 	}
 	ep.Stats.Timeouts++
+	if ep.cfg.Tracer != nil {
+		ep.cfg.Tracer.TCPRTO(ep.sched.Now(), ep.cfg.LocalPort, ep.rto)
+	}
 	// RFC 5681: collapse to one segment, halve ssthresh, and restart
 	// transmission from sndUna (go-back-N; slow start re-grows and
 	// SACKed spans are skipped on the way back up to sndMax).
@@ -484,6 +500,7 @@ func (ep *Endpoint) onRTO() {
 	ep.dupAcks = 0
 	ep.sampleFloor = ep.sndMax
 	ep.sndNxt = ep.sndUna
+	ep.traceCwnd()
 
 	if ep.finSent && ep.sndMax-ep.sndUna == 1 {
 		// Only the FIN is outstanding.

@@ -1,0 +1,54 @@
+// Package trace is the simulator's flight recorder: a typed probe
+// interface (Tracer) threaded through every protocol layer, with a
+// no-op default that costs nothing when tracing is disabled.
+//
+// # Design constraints
+//
+// Probes are zero-overhead when disabled and determinism-neutral when
+// enabled:
+//
+//   - Disabled is the default: every layer holds a nil Tracer and
+//     guards each probe with a nil check, so the steady-state hot path
+//     pays one predictable branch. The Nop implementation exists for
+//     call sites that want an always-valid Tracer; its methods take
+//     only scalar arguments (no interface boxing, no formatting), so
+//     calling them through the Tracer interface performs zero heap
+//     allocations (guarded by TestNopTracerAllocFree).
+//   - Attaching a tracer must not change what the simulation computes.
+//     Tracers observe; they never schedule events, consume RNG draws,
+//     or mutate protocol state, so any golden baseline regenerates
+//     byte-for-byte with a recorder attached (guarded by
+//     TestTracerDeterminismNeutral).
+//
+// # Probes
+//
+// The Tracer interface carries one method per event kind:
+//
+//   - PHY/channel: TxStart (frame class, rate, bytes, A-MPDU size,
+//     retry count), TxEnd (with collision outcome), Collision.
+//   - MAC: RxFrame (A-MPDU decode results), NAV (virtual carrier-sense
+//     updates), BAWindow (Block ACK bitmap state), MPDUFate (delivered
+//     / retried / expired, with the retry chain length).
+//   - HACK driver: HackState (Native/Compressing/Resyncing transitions
+//     with cause).
+//   - ROHC: ROHCPacket (IR refresh vs compressed delta, encoded
+//     bytes), ROHCResult (decompression outcomes and failures).
+//   - TCP: TCPRetransmit, TCPRTO, TCPCwnd (congestion events).
+//
+// # Recorders and export
+//
+// Recorder is a bounded ring-buffer flight recorder (the newest N
+// events survive); Writer streams every event as one JSON object per
+// line (JSONL). ValidateJSONL checks an exported stream against the
+// schema. Multi fans one probe stream out to several tracers.
+//
+// # Airtime ledger
+//
+// AirtimeLedger consumes TxStart/TxEnd and partitions every
+// nanosecond of simulated time into per-station buckets — data,
+// wifi-ACK/BA, BAR, TCP-ACK payload, retries — plus idle, exactly
+// (the buckets sum to the wall-clock simulated time with zero
+// remainder; see TestAirtimeConservation). Overlapping transmissions
+// (collisions) attribute each instant to the earliest-started active
+// transmission, so no instant is counted twice.
+package trace

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcphack/internal/sim"
+)
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	var tr Tracer = r
+	for i := 1; i <= 6; i++ {
+		tr.NAV(sim.Time(i), 1, sim.Time(i+10))
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := sim.Time(i + 3); e.T != want {
+			t.Errorf("event %d at t=%v, want %v (oldest overwritten, order kept)", i, e.T, want)
+		}
+	}
+}
+
+// emitSample drives every probe once, in a schema-legal order.
+func emitSample(tr Tracer) {
+	tr.TxStart(10, 1, 1, 2, ClassData, 150_000, 1500, 4, 1, 110, 0)
+	tr.TxStart(20, 2, 3, 1, ClassAck, 24_000, 46, 0, 0, 60, 12)
+	tr.Collision(20, 1, 2)
+	tr.NAV(25, 2, 200)
+	tr.TxEnd(60, 2, true)
+	tr.TxEnd(110, 1, true)
+	tr.RxFrame(110, 1, 2, 4, 3)
+	tr.BAWindow(112, 2, 1, 100, 0xdeadbeef)
+	tr.MPDUFate(115, 1, 2, 101, 1, FateRetry)
+	tr.HackState(120, 2, 1, StateCompressing, StateResyncing, CauseSyncGap)
+	tr.ROHCPacket(130, 2, true, 23)
+	tr.ROHCResult(140, 1, 3, 1, 0)
+	tr.TCPRetransmit(150, 5001, 4242)
+	tr.TCPRTO(160, 5001, sim.Second)
+	tr.TCPCwnd(160, 5001, 1460, 14600)
+}
+
+func TestWriterValidateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	emitSample(w)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if w.Count() != 15 {
+		t.Fatalf("Count = %d, want 15", w.Count())
+	}
+	n, err := ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ValidateJSONL: %v", err)
+	}
+	if n != 15 {
+		t.Fatalf("validated %d events, want 15", n)
+	}
+}
+
+func TestRecorderJSONLValidates(t *testing.T) {
+	r := NewRecorder(0)
+	emitSample(r)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if n, err := ValidateJSONL(&buf); err != nil || n != 15 {
+		t.Fatalf("ValidateJSONL = %d, %v; want 15, nil", n, err)
+	}
+}
+
+func TestValidateRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":   `{"t":1,"kind":"warp"}`,
+		"time backwards": `{"t":5,"kind":"nav"}` + "\n" + `{"t":4,"kind":"nav"}`,
+		"orphan tx_end":  `{"t":1,"kind":"tx_end","id":9}`,
+		"double start": `{"t":1,"kind":"tx_start","id":7,"end":5}` + "\n" +
+			`{"t":2,"kind":"tx_start","id":7,"end":6}`,
+		"not json": `nope`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	r := NewRecorder(8)
+	if got := Multi(nil, r); got != Tracer(r) {
+		t.Error("Multi with one survivor should unwrap it")
+	}
+	r2 := NewRecorder(8)
+	m := Multi(r, nil, r2)
+	m.NAV(1, 1, 2)
+	if r.Total() != 1 || r2.Total() != 1 {
+		t.Errorf("fan-out totals = %d, %d; want 1, 1", r.Total(), r2.Total())
+	}
+}
+
+func TestLedgerConservationAndOverlap(t *testing.T) {
+	l := NewAirtimeLedger()
+	// A: data from sta 1, [100, 200]. B: ack from sta 2 with a 30 ns
+	// HACK payload share, [150, 250] — overlapping A. Overlap rule:
+	// A (earliest) accrues until it ends, then B.
+	l.TxStart(100, 1, 1, 2, ClassData, 0, 0, 1, 0, 200, 0)
+	l.TxStart(150, 2, 2, 1, ClassAck, 0, 0, 0, 0, 250, 30)
+	l.TxEnd(200, 1, false)
+	l.TxEnd(250, 2, false)
+	// C: retry frame [300, 340].
+	l.TxStart(300, 3, 1, 2, ClassRetry, 0, 0, 1, 1, 340, 0)
+	l.TxEnd(340, 3, false)
+
+	rep := l.Snapshot(1000)
+	if !rep.Conserved() {
+		t.Fatalf("not conserved: busy %d + idle %d != elapsed %d", rep.Busy(), rep.Idle, rep.Elapsed)
+	}
+	if rep.Idle != 100+ /*gap*/ 50+660 {
+		t.Errorf("idle = %d, want 810", rep.Idle)
+	}
+	sta1 := rep.Stations[0]
+	if sta1.Station != 1 || sta1.Data != 100 || sta1.Retry != 40 {
+		t.Errorf("sta1 = %+v, want data=100 retry=40", sta1)
+	}
+	// B accrued only [200, 250] = 50; 30 of it is TCP-ACK payload.
+	sta2 := rep.Stations[1]
+	if sta2.Station != 2 || sta2.TCPAck != 30 || sta2.WifiAck != 20 {
+		t.Errorf("sta2 = %+v, want tcp_ack=30 wifi_ack=20", sta2)
+	}
+	if rep.Busy() != 190 {
+		t.Errorf("busy = %d, want 190", rep.Busy())
+	}
+	if eff := rep.Efficiency(); eff != float64(100)/190 {
+		t.Errorf("efficiency = %v, want 100/190", eff)
+	}
+}
+
+func TestLedgerSnapshotMidFlight(t *testing.T) {
+	l := NewAirtimeLedger()
+	l.TxStart(10, 1, 1, 2, ClassData, 0, 0, 1, 0, 100, 0)
+	rep := l.Snapshot(50)
+	if !rep.Conserved() {
+		t.Fatalf("mid-flight snapshot not conserved: %+v", rep)
+	}
+	if rep.Total.Data != 40 || rep.Idle != 10 {
+		t.Errorf("mid-flight: data=%d idle=%d, want 40, 10", rep.Total.Data, rep.Idle)
+	}
+	if l.InFlight() != 1 {
+		t.Errorf("InFlight = %d, want 1", l.InFlight())
+	}
+	// The snapshot must not have settled the live transmission.
+	l.TxEnd(100, 1, false)
+	rep = l.Snapshot(100)
+	if rep.Total.Data != 90 || rep.Idle != 10 || !rep.Conserved() {
+		t.Errorf("final: %+v, want data=90 idle=10 conserved", rep.Total)
+	}
+}
+
+func TestNopAllocFree(t *testing.T) {
+	var tr Tracer = Nop{}
+	allocs := testing.AllocsPerRun(100, func() { emitSample(tr) })
+	if allocs != 0 {
+		t.Fatalf("Nop tracer allocated %.1f times per probe sweep, want 0", allocs)
+	}
+}

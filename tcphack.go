@@ -76,6 +76,7 @@ package tcphack
 
 import (
 	"context"
+	"io"
 
 	"tcphack/internal/analytical"
 	"tcphack/internal/campaign"
@@ -88,6 +89,7 @@ import (
 	"tcphack/internal/results"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
+	"tcphack/internal/trace"
 )
 
 // Re-exported core types.
@@ -366,3 +368,64 @@ type LossResilienceRow = experiments.LossResilienceRow
 
 // AnalyticalDefaults returns the paper's capacity-model parameters.
 func AnalyticalDefaults() AnalyticalParams { return analytical.Defaults() }
+
+// Observability: flight-recorder tracing and the airtime ledger
+// (internal/trace). A Tracer attached via WithTracer (or
+// NetworkConfig.Tracer / Campaign.Trace) observes every layer of a
+// simulation — PHY transmissions and collisions, MAC frame fates and
+// NAV, HACK driver state transitions, ROHC packet forms, TCP loss
+// events — without perturbing it: tracing is determinism-neutral by
+// construction, and a nil tracer costs one pointer check per probe.
+type (
+	// Tracer receives simulation probe events (see internal/trace for
+	// the full probe inventory). Implementations must only observe —
+	// never schedule events, consume simulation randomness, or mutate
+	// protocol state.
+	Tracer = trace.Tracer
+	// NopTracer is the explicit do-nothing Tracer (zero allocations).
+	NopTracer = trace.Nop
+	// TraceEvent is one probe event in the flight-recorder schema.
+	TraceEvent = trace.Event
+	// TraceRecorder is a bounded in-memory ring of the most recent
+	// trace events.
+	TraceRecorder = trace.Recorder
+	// TraceWriter streams trace events as JSONL to an io.Writer.
+	TraceWriter = trace.Writer
+	// AirtimeLedger is a Tracer that accounts every nanosecond of
+	// medium time into per-station usage buckets.
+	AirtimeLedger = trace.AirtimeLedger
+	// AirtimeReport is a settled snapshot of an AirtimeLedger.
+	AirtimeReport = trace.AirtimeReport
+	// AirtimeBuckets splits airtime into data / wifi-ACK / BAR /
+	// TCP-ACK / retry components.
+	AirtimeBuckets = trace.Buckets
+	// StationAirtime is one station's share of an AirtimeReport.
+	StationAirtime = trace.StationAirtime
+)
+
+// WithTracer attaches a Tracer to every layer of the scenario's
+// network (PHY/channel, MAC, HACK driver, ROHC, TCP).
+var WithTracer = scenario.WithTracer
+
+// NewTraceRecorder returns a flight recorder retaining the most
+// recent capacity events (DefaultTraceRecorderCap when capacity <= 0).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// DefaultTraceRecorderCap is the default flight-recorder ring size.
+const DefaultTraceRecorderCap = trace.DefaultRecorderCap
+
+// NewTraceWriter returns a Tracer that streams every event to w as
+// JSONL; call Close to flush (and close w if it is an io.Closer).
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// NewAirtimeLedger returns an airtime-accounting Tracer; attach it
+// with WithTracer and call Snapshot at the end of the run.
+func NewAirtimeLedger() *AirtimeLedger { return trace.NewAirtimeLedger() }
+
+// TraceMulti fans probe events out to several tracers (nils are
+// dropped; returns nil when none remain).
+func TraceMulti(trs ...Tracer) Tracer { return trace.Multi(trs...) }
+
+// ValidateTraceJSONL schema-checks a JSONL trace stream and returns
+// the number of events read.
+func ValidateTraceJSONL(r io.Reader) (int, error) { return trace.ValidateJSONL(r) }
