@@ -1,11 +1,14 @@
 // Distributed-campaign modes: -serve runs the campaign-as-a-service
 // daemon, -worker a shard worker, -submit posts the -sweep flags as a
-// job, -status inspects jobs/metrics, and -dry-run prints the planned
-// grid with per-point fingerprints and expected memoization hits
-// without simulating. All long-running modes drain gracefully on
+// job, -status inspects jobs/metrics, -store-gc purges stale
+// memoization entries, and -dry-run prints the planned grid with
+// per-point fingerprints and expected memoization hits without
+// simulating. All long-running modes drain gracefully on
 // SIGINT/SIGTERM: the daemon stops accepting requests and flushes
 // in-flight completions; a worker finishes and delivers the shard it
-// holds before exiting.
+// holds before exiting — a second SIGINT hard-aborts the worker (the
+// streamed points are already checkpointed on the server, so recovery
+// costs only the unstreamed remainder of the shard).
 package main
 
 import (
@@ -72,18 +75,51 @@ func runServe(addr, stateDir string, leaseTTL time.Duration, shardSize int) (int
 	return 0, nil
 }
 
-// runWorker runs the shard-pulling loop until SIGINT/SIGTERM (graceful
-// drain: the in-flight shard is finished and delivered first).
-func runWorker(url, name string) (int, error) {
+// runWorker runs the shard-pulling loop. The first SIGINT/SIGTERM
+// drains gracefully — the in-flight shard is finished and delivered; a
+// second signal hard-aborts (the SIGKILL path the chaos tests
+// exercise): the in-flight point is abandoned, the lease expires, and
+// another worker re-simulates only the points this one had not yet
+// streamed.
+func runWorker(url, name string, poll, maxPoll time.Duration, retry tcphack.DistRetryPolicy) (int, error) {
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	kill := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "worker: draining — delivering the shard in flight (^C again to abort it)")
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "worker: hard abort — abandoning the shard to lease expiry")
+			close(kill)
+		case <-done:
+		}
+	}()
+
+	retry.Seed = name
+	retry.OnRetry = func(path string, attempt int, err error) {
+		fmt.Fprintf(os.Stderr, "worker %s: retrying %s (attempt %d failed: %v)\n", name, path, attempt, err)
+	}
 	w := &tcphack.DistWorker{
-		Client: tcphack.DistClient{BaseURL: url},
-		Name:   name,
+		Client:  tcphack.DistClient{BaseURL: url, Retry: retry},
+		Name:    name,
+		Poll:    poll,
+		MaxPoll: maxPoll,
+		Kill:    kill,
 		OnShard: func(grant tcphack.DistLeaseGrant, dup bool) {
 			note := ""
 			if dup {
@@ -91,6 +127,10 @@ func runWorker(url, name string) (int, error) {
 			}
 			fmt.Fprintf(os.Stderr, "worker %s: job %s shard %d done, %d point(s)%s\n",
 				name, grant.Job, grant.Shard, len(grant.Indexes), note)
+		},
+		OnAbandon: func(grant tcphack.DistLeaseGrant, err error) {
+			fmt.Fprintf(os.Stderr, "worker %s: abandoning job %s shard %d to lease expiry: %v\n",
+				name, grant.Job, grant.Shard, err)
 		},
 	}
 	fmt.Fprintf(os.Stderr, "hackbench worker %s pulling from %s\n", name, url)
@@ -100,13 +140,35 @@ func runWorker(url, name string) (int, error) {
 	return 0, nil
 }
 
+// runStoreGC purges (or, dry-run, counts) memoization entries a -state
+// store can never serve again: entries written by another code version
+// — the version salts every fingerprint, so no current plan probes
+// them — plus quarantined corrupt files.
+func runStoreGC(stateDir string, dryRun bool) (int, error) {
+	if stateDir == "" {
+		return 0, fmt.Errorf("-store-gc needs -state <dir>")
+	}
+	dir := filepath.Join(stateDir, "cache")
+	n, err := tcphack.PurgeDistStore(dir, tcphack.SimCodeVersion, dryRun)
+	if err != nil {
+		return 0, err
+	}
+	verb := "purged"
+	if dryRun {
+		verb = "would purge"
+	}
+	fmt.Printf("%s %s stale entr(ies) from %s (keeping code version %s)\n",
+		verb, groupInt(n), dir, tcphack.SimCodeVersion)
+	return 0, nil
+}
+
 // runStatus prints a job's status ("all" lists every job, "metrics"
 // prints the metrics snapshot) as indented JSON.
-func runStatus(server, target string) (int, error) {
+func runStatus(server, target string, retry tcphack.DistRetryPolicy) (int, error) {
 	if server == "" {
 		return 0, fmt.Errorf("-status needs -server <url>")
 	}
-	c := tcphack.DistClient{BaseURL: server}
+	c := tcphack.DistClient{BaseURL: server, Retry: retry}
 	var v any
 	var err error
 	switch target {
@@ -131,7 +193,7 @@ func runStatus(server, target string) (int, error) {
 // minCached > 0 additionally gates on the memoization hit fraction
 // (the repeated-sweep CI assertion).
 func runSubmit(sw sweepConfig, o tcphack.ExperimentOptions, server string,
-	shardSize int, wait bool, minCached float64) (int, error) {
+	shardSize int, wait bool, minCached float64, retry tcphack.DistRetryPolicy) (int, error) {
 	if server == "" {
 		return 0, fmt.Errorf("-submit needs -server <url>")
 	}
@@ -144,7 +206,7 @@ func runSubmit(sw sweepConfig, o tcphack.ExperimentOptions, server string,
 	if err != nil {
 		return 0, err
 	}
-	c := tcphack.DistClient{BaseURL: server}
+	c := tcphack.DistClient{BaseURL: server, Retry: retry}
 	st, err := c.Submit(spec, shardSize)
 	if err != nil {
 		return 0, err

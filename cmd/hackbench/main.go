@@ -85,6 +85,13 @@ func main() {
 	shardSize := flag.Int("shard", 0, "grid points per distributed shard (0 = server default)")
 	workerURL := flag.String("worker", "", "run a shard worker against this daemon URL")
 	workerName := flag.String("worker-name", "", "with -worker: worker name for leases and liveness (default host-pid)")
+	poll := flag.Duration("poll", 0, "with -worker: idle poll base interval, doubling with jitter up to -max-poll when the queue stays empty (0 = 200ms default)")
+	maxPoll := flag.Duration("max-poll", 0, "with -worker: idle poll backoff ceiling (0 = 5s default)")
+	retries := flag.Int("retries", 0, "daemon API attempts per request before giving up, for -worker/-submit/-status (0 = 5 default)")
+	retryWait := flag.Duration("retry-wait", 0, "base backoff before the first daemon API retry, doubling with jitter (0 = 100ms default)")
+	reqTimeout := flag.Duration("req-timeout", 0, "per-attempt daemon API request timeout (0 = 15s default)")
+	storeGC := flag.Bool("store-gc", false, "purge -state's memoization cache of entries from other code versions and quarantined corrupt files")
+	gcDryRun := flag.Bool("gc-dry-run", false, "with -store-gc: count stale entries without deleting anything")
 	server := flag.String("server", "", "daemon URL for -submit and -status")
 	submit := flag.Bool("submit", false, "submit the -sweep campaign to -server instead of running it locally")
 	wait := flag.Bool("wait", false, "with -submit: wait for completion and emit the merged rows per -format")
@@ -153,13 +160,20 @@ func main() {
 		}
 		exit(code)
 	}
+	retry := tcphack.DistRetryPolicy{
+		MaxAttempts: *retries,
+		BaseDelay:   *retryWait,
+		Timeout:     *reqTimeout,
+	}
 	switch {
 	case *serve != "":
 		finish(runServe(*serve, *stateDir, *leaseTTL, *shardSize))
 	case *workerURL != "":
-		finish(runWorker(*workerURL, *workerName))
+		finish(runWorker(*workerURL, *workerName, *poll, *maxPoll, retry))
 	case *status != "":
-		finish(runStatus(*server, *status))
+		finish(runStatus(*server, *status, retry))
+	case *storeGC:
+		finish(runStoreGC(*stateDir, *gcDryRun))
 	}
 
 	if *sweep != "" {
@@ -185,7 +199,7 @@ func main() {
 			if sw.traceDir != "" || sw.airtime {
 				finish(2, fmt.Errorf("-trace and -airtime apply to local sweeps only, not -submit"))
 			}
-			finish(runSubmit(sw, o, *server, *shardSize, *wait, *minCached))
+			finish(runSubmit(sw, o, *server, *shardSize, *wait, *minCached, retry))
 		}
 		code, err := runSweep(sw, o)
 		if err != nil {

@@ -200,7 +200,7 @@ func TestLeaseExpiryRequeuedExactlyOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(testWire(), 4); err != nil {
+	if _, err := s.Submit(testWire(), 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	grant, ok := s.lease("doomed")
@@ -260,7 +260,7 @@ func TestCompleteIdempotentDuplicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(testWire(), 4); err != nil {
+	if _, err := s.Submit(testWire(), 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	grant, _ := s.lease("slow")
@@ -303,7 +303,7 @@ func TestCompleteValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(testWire(), 2); err != nil {
+	if _, err := s.Submit(testWire(), 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	grant, _ := s.lease("w")
@@ -313,7 +313,7 @@ func TestCompleteValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := s.complete("w", grant.Job, grant.Shard, rows[:1]); err == nil ||
-		!strings.Contains(err.Error(), "rows for") {
+		!strings.Contains(err.Error(), "missing") {
 		t.Errorf("short delivery accepted: %v", err)
 	}
 	foreign := append(campaign.Results{}, rows...)
@@ -334,7 +334,7 @@ func TestRowsStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := s.Submit(testWire(), 2)
+	st, err := s.Submit(testWire(), 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,14 +370,14 @@ func TestSubmitFullyCachedBornDone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := s.Submit(testWire(), 4)
+	first, err := s.Submit(testWire(), 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	grant, _ := s.lease("w")
 	completeShard(t, s, "w", grant)
 
-	again, err := s.Submit(testWire(), 4)
+	again, err := s.Submit(testWire(), 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +405,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(testWire(), 4); err != nil {
+	if _, err := s.Submit(testWire(), 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	s.lease("w1")

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFaultStoreDeterministicSchedule: two FaultStores with one seed
+// fail the same operations in the same order — the property that makes
+// a chaos run's fault schedule replayable.
+func TestFaultStoreDeterministicSchedule(t *testing.T) {
+	row := serialRows(t, testWire())[0]
+	pattern := func(seed int64) string {
+		fs := &FaultStore{Inner: NewMemStore(), Seed: seed, FailGet: 0.4, FailPut: 0.4}
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			if err := fs.Put(fmt.Sprintf("fp%036d", i), row); err != nil {
+				b.WriteByte('P')
+			}
+			if _, err := fs.Get(fmt.Sprintf("fp%036d", i)); err != nil {
+				b.WriteByte('G')
+			}
+			b.WriteByte('.')
+		}
+		return b.String()
+	}
+	if pattern(7) != pattern(7) {
+		t.Error("same seed produced different fault schedules")
+	}
+	if pattern(7) == pattern(8) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+	if !strings.ContainsAny(pattern(7), "PG") {
+		t.Error("no faults fired at p=0.4 over 80 draws")
+	}
+}
+
+// TestFaultStoreCorruptPutIsSilent: a corrupted Put reports success
+// (bit rot is silent), and only the inner store's CRC check on a later
+// Get exposes it — as a quarantined miss, never as wrong data.
+func TestFaultStoreCorruptPutIsSilent(t *testing.T) {
+	inner, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &FaultStore{Inner: inner, Seed: 1, CorruptPut: 1.0}
+	row := serialRows(t, testWire())[0]
+	if err := fs.Put("feedfacefeedface", row); err != nil {
+		t.Fatalf("corrupted put must still report success, got %v", err)
+	}
+	if fs.Stats().CorruptedPuts != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupted put", fs.Stats())
+	}
+	got, err := fs.Get("feedfacefeedface")
+	if err != nil || got != nil {
+		t.Fatalf("Get after silent corruption = %v, %v; want quarantined miss", got, err)
+	}
+	if fs.CorruptCount() != 1 {
+		t.Errorf("CorruptCount = %d, want 1 (forwarded from inner)", fs.CorruptCount())
+	}
+}
+
+// TestFaultTransportClasses: every transport fault class fires under
+// load, drops and 503s surface as client-visible failures, and
+// duplicated requests genuinely reach the server twice.
+func TestFaultTransportClasses(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		writeJSON(w, map[string]bool{"ok": true})
+	}))
+	defer ts.Close()
+
+	ft := &FaultTransport{
+		Seed:        42,
+		DropRequest: 0.1, DropResponse: 0.1, Duplicate: 0.1, Err503: 0.1, Delay: 0.1,
+	}
+	c := &http.Client{Transport: ft}
+	okResponses, failures := 0, 0
+	for i := 0; i < 300; i++ {
+		req, err := http.NewRequest("POST", ts.URL+"/x", strings.NewReader(`{"n":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			failures++
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			okResponses++
+		}
+		resp.Body.Close()
+	}
+
+	st := ft.Stats()
+	for name, n := range map[string]int64{
+		"DroppedRequests":  st.DroppedRequests,
+		"DroppedResponses": st.DroppedResponses,
+		"Duplicated":       st.Duplicated,
+		"Injected503s":     st.Injected503s,
+		"Delayed":          st.Delayed,
+	} {
+		if n == 0 {
+			t.Errorf("fault class %s never fired: %+v", name, st)
+		}
+	}
+	if failures == 0 {
+		t.Error("no client-visible failures despite drops")
+	}
+	// The server saw: every ok response, every dropped response, and
+	// one extra request per duplicate — but none of the dropped
+	// requests or synthetic 503s.
+	want := int64(okResponses) + st.DroppedResponses + st.Duplicated
+	if served.Load() != want {
+		t.Errorf("server served %d requests, want %d (ok=%d + droppedResp=%d + dup=%d)",
+			served.Load(), want, okResponses, st.DroppedResponses, st.Duplicated)
+	}
+}

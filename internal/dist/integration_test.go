@@ -104,7 +104,7 @@ func TestDaemonRestartResumesJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := s1.Submit(w, 1)
+	st, err := s1.Submit(w, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,11 @@ type Plan struct {
 	Shards [][]int
 	// Cached counts the store hits among Points.
 	Cached int
+	// StoreErrors counts points whose store probe failed outright (the
+	// backend was unavailable, not merely a miss). Those points plan as
+	// uncached — a sweep must survive a dead store — and a nonzero count
+	// marks the resulting job degraded.
+	StoreErrors int
 }
 
 // NewPlan fingerprints the spec's grid against the store and chunks
@@ -53,7 +58,9 @@ type Plan struct {
 // deliberately excludes (campaign label, grid index) are rewritten for
 // this spec, so a hit from an overlapping sweep under another name
 // merges indistinguishably from a fresh simulation. A nil store plans
-// every point as uncached.
+// every point as uncached, and so does a failing one: a store error is
+// counted in StoreErrors and the point scheduled for simulation,
+// because a broken cache must cost recomputation, never the sweep.
 func NewPlan(w campaign.WireSpec, store Store, salt string, shardSize int) (*Plan, error) {
 	spec, err := w.Spec()
 	if err != nil {
@@ -77,7 +84,8 @@ func NewPlan(w campaign.WireSpec, store Store, salt string, shardSize int) (*Pla
 		if store != nil {
 			cached, err := store.Get(pp.Fingerprint)
 			if err != nil {
-				return nil, err
+				p.StoreErrors++
+				cached = nil
 			}
 			if cached != nil {
 				r := *cached

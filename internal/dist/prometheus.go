@@ -67,6 +67,19 @@ func writePrometheus(w io.Writer, m Metrics) {
 		func(j JobStatus) float64 { return float64(j.Requeues) })
 	jobGauge("tcphack_job_rows_per_sec", "Simulated-row completion rate since submission.",
 		func(j JobStatus) float64 { return j.RowsPerSec })
+	jobGauge("tcphack_job_points_streamed", "Rows landed through the point-level streaming checkpoint.",
+		func(j JobStatus) float64 { return float64(j.PointsStreamed) })
+	jobGauge("tcphack_job_points_resimulated", "Streamed rows the server already held (work repeated after lease churn).",
+		func(j JobStatus) float64 { return float64(j.PointsResimulated) })
+	jobGauge("tcphack_job_duplicate_completes", "Whole-shard deliveries acknowledged idempotently as duplicates.",
+		func(j JobStatus) float64 { return float64(j.DuplicateCompletes) })
+	jobGauge("tcphack_job_degraded", "Whether the job fell back to compute-everything mode after a store failure.",
+		func(j JobStatus) float64 {
+			if j.Degraded {
+				return 1
+			}
+			return 0
+		})
 
 	workers := make([]string, 0, len(m.Workers))
 	for name := range m.Workers {
@@ -89,4 +102,14 @@ func writePrometheus(w io.Writer, m Metrics) {
 		})
 	workerGauge("tcphack_worker_last_seen_seconds", "Unix time of the worker's most recent contact.",
 		func(ws WorkerStatus) float64 { return float64(ws.LastSeen.UnixNano()) / 1e9 })
+
+	storeGauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, promNum(v))
+	}
+	storeGauge("tcphack_store_get_errors", "Memoization store get failures absorbed by degradation.",
+		float64(m.Store.GetErrors))
+	storeGauge("tcphack_store_put_errors", "Memoization store put failures absorbed by degradation.",
+		float64(m.Store.PutErrors))
+	storeGauge("tcphack_store_corrupt_quarantined", "Store entries quarantined after a failed integrity check.",
+		float64(m.Store.CorruptQuarantined))
 }

@@ -64,6 +64,13 @@ func TestMetricsContentNegotiation(t *testing.T) {
 		"tcphack_job_done_rows",
 		"tcphack_worker_live{worker=\"a\"} 1",
 		"tcphack_worker_last_seen_seconds",
+		"tcphack_job_degraded{job=\"" + st.ID + "\"",
+		"tcphack_job_points_streamed",
+		"tcphack_job_points_resimulated",
+		"tcphack_job_duplicate_completes",
+		"# TYPE tcphack_store_get_errors gauge",
+		"tcphack_store_put_errors 0",
+		"tcphack_store_corrupt_quarantined 0",
 	} {
 		if !strings.Contains(body, frag) {
 			t.Errorf("prometheus body missing %q:\n%s", frag, body)

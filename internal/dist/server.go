@@ -3,9 +3,11 @@ package dist
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +39,9 @@ type ServerConfig struct {
 	ShardSize int
 	// Now injects a clock for tests (default time.Now).
 	Now func() time.Time
+	// Logf receives degradation and recovery notices (default
+	// log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // Lease states a shard moves through; a lease expiry moves a shard
@@ -48,6 +53,8 @@ const (
 )
 
 // shard is one lease unit: a chunk of uncached grid-point indexes.
+// Points stream back individually (job.have tracks them), so a
+// re-leased shard grants only the indexes still missing.
 type shard struct {
 	id      int
 	indexes []int
@@ -74,6 +81,16 @@ type job struct {
 	cachedPoints int
 	simRows      int
 	lastRow      time.Time
+
+	// degraded marks a job that hit a store error and fell back to
+	// compute-everything mode: rows live in memory, merged output is
+	// unaffected, but checkpoint/resume and memoization coverage are
+	// reduced for the failed entries.
+	degraded bool
+	// Streaming and idempotency accounting (see JobStatus).
+	pointsStreamed     int
+	pointsResimulated  int
+	duplicateCompletes int
 }
 
 // done reports whether every shard completed.
@@ -109,6 +126,19 @@ type JobStatus struct {
 	ShardsPending  int `json:"shards_pending"`
 	// Requeues counts lease expiries across the job's shards.
 	Requeues int `json:"requeues"`
+	// PointsStreamed counts rows delivered through the point-level
+	// streaming checkpoint; PointsResimulated counts streamed rows the
+	// server already had (work repeated after a crash or lease churn —
+	// the smaller, the better the checkpointing worked).
+	PointsStreamed    int `json:"points_streamed"`
+	PointsResimulated int `json:"points_resimulated"`
+	// DuplicateCompletes counts whole-shard deliveries that lost the
+	// at-least-once race and were acknowledged idempotently.
+	DuplicateCompletes int `json:"duplicate_completes"`
+	// Degraded reports the job fell back to compute-everything mode
+	// after a store failure: output is still exact, but some rows were
+	// not checkpointed/memoized.
+	Degraded bool `json:"degraded"`
 	// RowsPerSec is the simulated-row completion rate (cached rows
 	// excluded) since submission; 0 until the first row lands.
 	RowsPerSec float64 `json:"rows_per_sec"`
@@ -124,19 +154,35 @@ type WorkerStatus struct {
 	Live bool `json:"live"`
 }
 
-// Metrics is the /metrics endpoint's payload: per-job progress plus
-// worker liveness.
+// StoreHealth aggregates the memoization store's failure counters
+// across the daemon's lifetime.
+type StoreHealth struct {
+	// GetErrors and PutErrors count store operations that failed and
+	// were absorbed by degradation (planned as a miss, row kept in
+	// memory only).
+	GetErrors int64 `json:"get_errors"`
+	PutErrors int64 `json:"put_errors"`
+	// CorruptQuarantined counts entries the store renamed aside after
+	// a failed integrity check (DirStore's CRC-32 envelope).
+	CorruptQuarantined int64 `json:"corrupt_quarantined"`
+}
+
+// Metrics is the /metrics endpoint's payload: per-job progress, worker
+// liveness, and store health.
 type Metrics struct {
 	// Jobs lists every job's status in submission order.
 	Jobs []JobStatus `json:"jobs"`
 	// Workers maps worker names to their liveness.
 	Workers map[string]WorkerStatus `json:"workers"`
+	// Store is the memoization store's health.
+	Store StoreHealth `json:"store"`
 }
 
 // Server is the campaign-as-a-service daemon: job admission, the
-// shard lease queue, row merging, and the memoization store, exposed
-// over an HTTP/JSON API (Handler). See the package documentation for
-// the determinism and at-least-once contracts.
+// shard lease queue, point-level streaming checkpoints, row merging,
+// and the memoization store, exposed over an HTTP/JSON API (Handler).
+// See the package documentation for the determinism, at-least-once,
+// and degradation contracts.
 type Server struct {
 	cfg ServerConfig
 
@@ -145,16 +191,24 @@ type Server struct {
 	order   []string // job IDs in submission order
 	seq     int
 	workers map[string]time.Time
+	// tokens maps submit idempotency tokens to job IDs so a retried
+	// or transport-duplicated submit admits exactly one job.
+	tokens map[string]string
+
+	storeGetErrors int64
+	storePutErrors int64
 }
 
 // jobRecord is the persisted submission (StateDir/jobs/<id>.json).
 type jobRecord struct {
 	// ID, Spec, and ShardSize replay the submission on daemon restart;
-	// Created preserves the original submission time.
+	// Created preserves the original submission time; Token rebuilds
+	// the submit-idempotency map.
 	ID        string            `json:"id"`
 	Spec      campaign.WireSpec `json:"spec"`
 	ShardSize int               `json:"shard_size"`
 	Created   time.Time         `json:"created"`
+	Token     string            `json:"token,omitempty"`
 }
 
 // NewServer assembles a daemon and, when the config names a state
@@ -174,6 +228,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	if cfg.Store == nil {
 		if cfg.StateDir == "" {
 			cfg.Store = NewMemStore()
@@ -182,6 +239,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			if err != nil {
 				return nil, err
 			}
+			store.Version = cfg.Salt
 			cfg.Store = store
 		}
 	}
@@ -189,6 +247,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:     cfg,
 		jobs:    map[string]*job{},
 		workers: map[string]time.Time{},
+		tokens:  map[string]string{},
 	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
@@ -232,6 +291,9 @@ func (s *Server) resume() error {
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		if rec.Token != "" {
+			s.tokens[rec.Token] = j.id
+		}
 		if n := jobSeq(j.id); n > s.seq {
 			s.seq = n
 		}
@@ -246,7 +308,9 @@ func jobSeq(id string) int {
 	return n
 }
 
-// buildJob plans a submission into an executable job.
+// buildJob plans a submission into an executable job. Store failures
+// during planning do not fail admission: the affected points plan as
+// misses and the job is marked degraded.
 func (s *Server) buildJob(rec jobRecord) (*job, error) {
 	plan, err := NewPlan(rec.Spec, s.cfg.Store, s.cfg.Salt, rec.ShardSize)
 	if err != nil {
@@ -260,6 +324,12 @@ func (s *Server) buildJob(rec jobRecord) (*job, error) {
 		created:   rec.Created,
 		rows:      make([]campaign.Result, len(plan.Points)),
 		have:      make([]bool, len(plan.Points)),
+	}
+	if plan.StoreErrors > 0 {
+		s.storeGetErrors += int64(plan.StoreErrors)
+		j.degraded = true
+		s.cfg.Logf("dist: job %s degraded at admission: %d store get failure(s), planning them as misses",
+			j.id, plan.StoreErrors)
 	}
 	for _, pp := range plan.Points {
 		j.points = append(j.points, pp.Point)
@@ -278,18 +348,27 @@ func (s *Server) buildJob(rec jobRecord) (*job, error) {
 
 // Submit admits a spec as a new job (shardSize ≤ 0 uses the server
 // default) and returns its status. A spec whose every point is already
-// in the store is born done — the repeated-sweep fast path.
-func (s *Server) Submit(spec campaign.WireSpec, shardSize int) (JobStatus, error) {
+// in the store is born done — the repeated-sweep fast path. A
+// non-empty token makes the call idempotent: retries and transport
+// duplicates carrying a token the server has seen return the original
+// job instead of admitting another.
+func (s *Server) Submit(spec campaign.WireSpec, shardSize int, token string) (JobStatus, error) {
 	if shardSize <= 0 {
 		shardSize = s.cfg.ShardSize
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if token != "" {
+		if id, ok := s.tokens[token]; ok {
+			return s.statusLocked(s.jobs[id]), nil
+		}
+	}
 	rec := jobRecord{
 		ID:        fmt.Sprintf("j%d", s.seq+1),
 		Spec:      spec,
 		ShardSize: shardSize,
 		Created:   s.cfg.Now().UTC(),
+		Token:     token,
 	}
 	j, err := s.buildJob(rec)
 	if err != nil {
@@ -308,20 +387,28 @@ func (s *Server) Submit(spec campaign.WireSpec, shardSize int) (JobStatus, error
 	s.seq++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if token != "" {
+		s.tokens[token] = j.id
+	}
 	return s.statusLocked(j), nil
 }
 
 // statusLocked snapshots one job's status (caller holds s.mu).
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:           j.id,
-		Campaign:     j.spec.Name,
-		Scenario:     j.wire.Scenario,
-		State:        "running",
-		TotalPoints:  len(j.points),
-		CachedPoints: j.cachedPoints,
-		ShardsTotal:  len(j.shards),
-		Created:      j.created,
+		ID:                 j.id,
+		Campaign:           j.spec.Name,
+		Scenario:           j.wire.Scenario,
+		State:              "running",
+		TotalPoints:        len(j.points),
+		CachedPoints:       j.cachedPoints,
+		ShardsTotal:        len(j.shards),
+		Requeues:           0,
+		PointsStreamed:     j.pointsStreamed,
+		PointsResimulated:  j.pointsResimulated,
+		DuplicateCompletes: j.duplicateCompletes,
+		Degraded:           j.degraded,
+		Created:            j.created,
 	}
 	for _, have := range j.have {
 		if have {
@@ -350,7 +437,8 @@ func (s *Server) statusLocked(j *job) JobStatus {
 
 // expireLocked re-queues every lease the clock has outrun (caller
 // holds s.mu). Each expiry is one requeue: the shard returns to the
-// pending queue and the next lease hands it out again.
+// pending queue and the next lease hands it out again — granting only
+// the points the dead worker had not yet streamed.
 func (s *Server) expireLocked(now time.Time) {
 	for _, id := range s.order {
 		for _, sh := range s.jobs[id].shards {
@@ -370,24 +458,56 @@ func (s *Server) touchLocked(worker string, now time.Time) {
 	}
 }
 
+// putRowLocked lands one rehydrated row: persisted to the store first
+// (checkpoint before acknowledgment), then merged into the job. A
+// store failure degrades the job to compute-everything mode — the row
+// stays in memory, the sweep proceeds — instead of failing the
+// delivery (caller holds s.mu).
+func (s *Server) putRowLocked(j *job, idx int, r campaign.Result) {
+	if err := s.cfg.Store.Put(j.fps[idx], r); err != nil {
+		s.storePutErrors++
+		if !j.degraded {
+			j.degraded = true
+			s.cfg.Logf("dist: job %s degraded: store put failed (%v); continuing without checkpoints for failed entries", j.id, err)
+		}
+	}
+	j.rows[idx] = r
+	j.have[idx] = true
+}
+
+// remainingLocked lists a shard's indexes that have no row yet —
+// what a (re-)lease grants (caller holds s.mu).
+func remainingLocked(j *job, sh *shard) []int {
+	var out []int
+	for _, i := range sh.indexes {
+		if !j.have[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // LeaseGrant is the server's answer to a lease request: one shard of
 // one job, the spec to materialize it from, and the lease terms.
 type LeaseGrant struct {
-	// Job and Shard identify the lease; echo them in heartbeats and
-	// the completion.
+	// Job and Shard identify the lease; echo them in heartbeats,
+	// streamed points, and the completion.
 	Job   string `json:"job"`
 	Shard int    `json:"shard"`
 	// Spec is the job's wire spec — workers are stateless.
 	Spec campaign.WireSpec `json:"spec"`
 	// Indexes are the grid points to simulate, in campaign Points()
-	// order.
+	// order. A re-leased shard grants only the points its previous
+	// holder had not streamed back before dying.
 	Indexes []int `json:"indexes"`
 	// TTLMillis is the lease lifetime; heartbeat well within it.
 	TTLMillis int64 `json:"ttl_ms"`
 }
 
 // lease hands the oldest pending shard to a worker (ok=false when no
-// work is pending).
+// work is pending). A pending shard whose every point already has a
+// row (all streamed before its previous lease expired) is closed on
+// the spot instead of granted.
 func (s *Server) lease(worker string) (LeaseGrant, bool) {
 	now := s.cfg.Now()
 	s.mu.Lock()
@@ -400,6 +520,11 @@ func (s *Server) lease(worker string) (LeaseGrant, bool) {
 			if sh.state != shardPending {
 				continue
 			}
+			rem := remainingLocked(j, sh)
+			if len(rem) == 0 {
+				sh.state = shardDone
+				continue
+			}
 			sh.state = shardLeased
 			sh.worker = worker
 			sh.expiry = now.Add(s.cfg.LeaseTTL)
@@ -407,7 +532,7 @@ func (s *Server) lease(worker string) (LeaseGrant, bool) {
 				Job:       j.id,
 				Shard:     sh.id,
 				Spec:      j.wire,
-				Indexes:   append([]int{}, sh.indexes...),
+				Indexes:   rem,
 				TTLMillis: s.cfg.LeaseTTL.Milliseconds(),
 			}, true
 		}
@@ -424,14 +549,11 @@ func (s *Server) heartbeat(worker, jobID string, shardID int) (renewed bool, err
 	defer s.mu.Unlock()
 	s.expireLocked(now)
 	s.touchLocked(worker, now)
-	j, ok := s.jobs[jobID]
-	if !ok {
-		return false, fmt.Errorf("dist: unknown job %q", jobID)
+	j, sh, err := s.shardLocked(jobID, shardID)
+	if err != nil {
+		return false, err
 	}
-	if shardID < 0 || shardID >= len(j.shards) {
-		return false, fmt.Errorf("dist: job %s has no shard %d", jobID, shardID)
-	}
-	sh := j.shards[shardID]
+	_ = j
 	if sh.state != shardLeased || sh.worker != worker {
 		return false, nil
 	}
@@ -439,32 +561,87 @@ func (s *Server) heartbeat(worker, jobID string, shardID int) (renewed bool, err
 	return true, nil
 }
 
-// complete accepts a shard's rows. Duplicate deliveries (a worker that
-// lost its lease and finished anyway) are acknowledged idempotently:
-// the first delivery's rows stand — identical by the determinism
-// contract — and duplicate=true tells the worker. Rows are persisted
-// to the memoization store before the shard is acknowledged, so a
-// daemon crash after an ack can always resume from the store.
+// shardLocked resolves a job/shard pair (caller holds s.mu).
+func (s *Server) shardLocked(jobID string, shardID int) (*job, *shard, error) {
+	j, ok := s.jobs[jobID]
+	if !ok {
+		return nil, nil, fmt.Errorf("dist: unknown job %q", jobID)
+	}
+	if shardID < 0 || shardID >= len(j.shards) {
+		return nil, nil, fmt.Errorf("dist: job %s has no shard %d", jobID, shardID)
+	}
+	return j, j.shards[shardID], nil
+}
+
+// streamPoint lands one worker-reported row the moment its simulation
+// finishes — the point-level checkpoint. The row is persisted to the
+// store and merged into the job immediately, so a worker crash after
+// this call costs at most the points still unstreamed; the streaming
+// worker's lease is refreshed as a side effect (a streaming worker is
+// evidently alive). Duplicates — the point re-simulated after lease
+// churn — are verified against the held row and acknowledged.
+func (s *Server) streamPoint(worker, jobID string, shardID int, row campaign.Result) (duplicate bool, err error) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	s.touchLocked(worker, now)
+	j, sh, err := s.shardLocked(jobID, shardID)
+	if err != nil {
+		return false, err
+	}
+	inShard := false
+	for _, i := range sh.indexes {
+		if i == row.Index {
+			inShard = true
+			break
+		}
+	}
+	if !inShard {
+		return false, fmt.Errorf("dist: job %s shard %d: streamed point %d not in shard",
+			jobID, shardID, row.Index)
+	}
+	rehydrate(&row, j.spec.Name, j.points[row.Index])
+	if j.have[row.Index] {
+		if !reflect.DeepEqual(j.rows[row.Index], row) {
+			return false, fmt.Errorf("dist: job %s: streamed point %d conflicts with held row (non-deterministic producer or code-version mismatch)",
+				jobID, row.Index)
+		}
+		j.pointsResimulated++
+		return true, nil
+	}
+	s.putRowLocked(j, row.Index, row)
+	j.pointsStreamed++
+	j.simRows++
+	j.lastRow = now
+	if sh.state == shardLeased && sh.worker == worker {
+		sh.expiry = now.Add(s.cfg.LeaseTTL)
+	}
+	return false, nil
+}
+
+// complete accepts a shard's rows. Deliveries covering only part of
+// the shard are fine as long as the rest already streamed in; the
+// shard closes when every one of its points has a row. Duplicate
+// deliveries (a worker that lost its lease and finished anyway) are
+// acknowledged idempotently: held rows stand — identical by the
+// determinism contract, and verified to be — and duplicate=true tells
+// the worker. Rows are persisted to the memoization store before the
+// shard is acknowledged, so a daemon crash after an ack can always
+// resume from the store (unless degraded).
 func (s *Server) complete(worker, jobID string, shardID int, rows campaign.Results) (duplicate bool, err error) {
 	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked(now)
 	s.touchLocked(worker, now)
-	j, ok := s.jobs[jobID]
-	if !ok {
-		return false, fmt.Errorf("dist: unknown job %q", jobID)
+	j, sh, err := s.shardLocked(jobID, shardID)
+	if err != nil {
+		return false, err
 	}
-	if shardID < 0 || shardID >= len(j.shards) {
-		return false, fmt.Errorf("dist: job %s has no shard %d", jobID, shardID)
-	}
-	sh := j.shards[shardID]
 	if sh.state == shardDone {
+		j.duplicateCompletes++
 		return true, nil
-	}
-	if len(rows) != len(sh.indexes) {
-		return false, fmt.Errorf("dist: job %s shard %d: %d rows for %d points",
-			jobID, shardID, len(rows), len(sh.indexes))
 	}
 	inShard := map[int]bool{}
 	for _, i := range sh.indexes {
@@ -474,6 +651,7 @@ func (s *Server) complete(worker, jobID string, shardID int, rows campaign.Resul
 	// unexported sweep flags, and the label/index fields are job-local
 	// (rehydrate's contract), so rebuild them from the job's own grid.
 	seen := map[int]bool{}
+	added := 0
 	for i := range rows {
 		r := &rows[i]
 		if !inShard[r.Index] {
@@ -486,16 +664,24 @@ func (s *Server) complete(worker, jobID string, shardID int, rows campaign.Resul
 		}
 		seen[r.Index] = true
 		rehydrate(r, j.spec.Name, j.points[r.Index])
-		if err := s.cfg.Store.Put(j.fps[r.Index], *r); err != nil {
-			return false, fmt.Errorf("dist: persisting row %d: %v", r.Index, err)
+		if j.have[r.Index] {
+			if !reflect.DeepEqual(j.rows[r.Index], *r) {
+				return false, fmt.Errorf("dist: job %s: delivered row %d conflicts with held row (non-deterministic producer or code-version mismatch)",
+					jobID, r.Index)
+			}
+			continue
 		}
+		s.putRowLocked(j, r.Index, *r)
+		added++
 	}
-	for _, r := range rows {
-		j.rows[r.Index] = r
-		j.have[r.Index] = true
+	if missing := remainingLocked(j, sh); len(missing) > 0 {
+		return false, fmt.Errorf("dist: job %s shard %d: delivery leaves %d point(s) missing (first %d)",
+			jobID, shardID, len(missing), missing[0])
 	}
-	j.simRows += len(rows)
-	j.lastRow = now
+	j.simRows += added
+	if added > 0 {
+		j.lastRow = now
+	}
 	sh.state = shardDone
 	sh.worker = worker
 	return false, nil
@@ -503,9 +689,12 @@ func (s *Server) complete(worker, jobID string, shardID int, rows campaign.Resul
 
 // Rows returns a completed job's merged rows — byte-identical, through
 // the campaign emitters, to a serial campaign.Run of the same spec.
-// For a running job it errors unless partial is set, in which case the
-// completed rows are returned as-is (missing points absent, not
-// zero-filled).
+// The merge re-validates completeness from the individual row parts
+// (streamed points and shard deliveries land rows one by one), so a
+// bookkeeping bug surfaces as an explicit merge error rather than a
+// zero-filled row. For a running job it errors unless partial is set,
+// in which case the completed rows are returned as-is (missing points
+// absent, not zero-filled).
 func (s *Server) Rows(jobID string, partial bool) (campaign.Results, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -513,19 +702,19 @@ func (s *Server) Rows(jobID string, partial bool) (campaign.Results, error) {
 	if !ok {
 		return nil, fmt.Errorf("dist: unknown job %q", jobID)
 	}
+	var parts campaign.Results
+	for i, have := range j.have {
+		if have {
+			parts = append(parts, j.rows[i])
+		}
+	}
 	if !j.done() {
 		if !partial {
 			return nil, fmt.Errorf("dist: job %s still running", jobID)
 		}
-		var out campaign.Results
-		for i, have := range j.have {
-			if have {
-				out = append(out, j.rows[i])
-			}
-		}
-		return out, nil
+		return parts, nil
 	}
-	return results.Merge(len(j.points), j.rows)
+	return results.Merge(len(j.points), parts)
 }
 
 // Status returns one job's status.
@@ -558,7 +747,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked(now)
-	m := Metrics{Workers: map[string]WorkerStatus{}}
+	m := Metrics{
+		Workers: map[string]WorkerStatus{},
+		Store: StoreHealth{
+			GetErrors: s.storeGetErrors,
+			PutErrors: s.storePutErrors,
+		},
+	}
+	if cc, ok := s.cfg.Store.(interface{ CorruptCount() int64 }); ok {
+		m.Store.CorruptQuarantined = cc.CorruptCount()
+	}
 	for _, id := range s.order {
 		m.Jobs = append(m.Jobs, s.statusLocked(s.jobs[id]))
 	}
@@ -573,27 +771,33 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 // Handler returns the HTTP/JSON API:
 //
-//	POST /jobs            {"spec": WireSpec, "shard_size": n} → JobStatus
+//	POST /jobs            {"spec": WireSpec, "shard_size": n, "token": t} → JobStatus
 //	GET  /jobs            → [JobStatus]
 //	GET  /jobs/{id}       → JobStatus
 //	GET  /jobs/{id}/rows  → campaign rows (?partial=1 while running)
+//	POST /jobs/{id}/shards/{sid}/points
+//	                      {"worker": w, "row": Result} → {"duplicate": bool}
 //	POST /lease           {"worker": w} → LeaseGrant | 204
 //	POST /heartbeat       {"worker": w, "job": id, "shard": n} → {"renewed": bool}
 //	POST /complete        {"worker": w, "job": id, "shard": n, "rows": [...]} → {"duplicate": bool}
 //	GET  /metrics         → Metrics (JSON; Prometheus text exposition
 //	                        when the Accept header prefers text/plain)
+//
+// The package documentation states each endpoint's retry and
+// idempotency contract.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Spec      campaign.WireSpec `json:"spec"`
 			ShardSize int               `json:"shard_size"`
+			Token     string            `json:"token"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		st, err := s.Submit(req.Spec, req.ShardSize)
+		st, err := s.Submit(req.Spec, req.ShardSize, req.Token)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -624,6 +828,27 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		rows.WriteJSON(w)
+	})
+	mux.HandleFunc("POST /jobs/{id}/shards/{sid}/points", func(w http.ResponseWriter, r *http.Request) {
+		shardID, err := strconv.Atoi(r.PathValue("sid"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("dist: bad shard id %q", r.PathValue("sid")))
+			return
+		}
+		var req struct {
+			Worker string          `json:"worker"`
+			Row    campaign.Result `json:"row"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		dup, err := s.streamPoint(req.Worker, r.PathValue("id"), shardID, req.Row)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"duplicate": dup})
 	})
 	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {

@@ -1,234 +1,139 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"net/http"
+	"hash/fnv"
 	"time"
 
 	"tcphack/internal/campaign"
 )
 
-// Client speaks the Server's HTTP/JSON API — the submit/status side
-// for CLIs and the lease/complete side for workers.
-type Client struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8077".
-	BaseURL string
-	// HTTPClient overrides http.DefaultClient.
-	HTTPClient *http.Client
-}
-
-func (c *Client) http() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
-}
-
-// do runs one JSON round trip; out may be nil. ok codes: 200; 204
-// returns errNoContent sentinel via found=false.
-func (c *Client) do(method, path string, in, out any) (found bool, err error) {
-	var body io.Reader
-	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
-			return false, err
-		}
-		body = bytes.NewReader(data)
-	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
-	if err != nil {
-		return false, err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNoContent {
-		return false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return false, fmt.Errorf("dist: %s %s: %s", method, path, e.Error)
-		}
-		return false, fmt.Errorf("dist: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return false, err
-		}
-	}
-	return true, nil
-}
-
-// Submit posts a spec (shardSize ≤ 0 uses the server default) and
-// returns the new job's status.
-func (c *Client) Submit(spec campaign.WireSpec, shardSize int) (JobStatus, error) {
-	var st JobStatus
-	req := struct {
-		Spec      campaign.WireSpec `json:"spec"`
-		ShardSize int               `json:"shard_size"`
-	}{spec, shardSize}
-	_, err := c.do("POST", "/jobs", req, &st)
-	return st, err
-}
-
-// Jobs lists every job's status.
-func (c *Client) Jobs() ([]JobStatus, error) {
-	var out []JobStatus
-	_, err := c.do("GET", "/jobs", nil, &out)
-	return out, err
-}
-
-// Status fetches one job's status.
-func (c *Client) Status(jobID string) (JobStatus, error) {
-	var st JobStatus
-	_, err := c.do("GET", "/jobs/"+jobID, nil, &st)
-	return st, err
-}
-
-// Rows fetches a completed job's merged rows.
-func (c *Client) Rows(jobID string) (campaign.Results, error) {
-	var rows campaign.Results
-	_, err := c.do("GET", "/jobs/"+jobID+"/rows", nil, &rows)
-	return rows, err
-}
-
-// Metrics fetches the daemon's metrics snapshot.
-func (c *Client) Metrics() (Metrics, error) {
-	var m Metrics
-	_, err := c.do("GET", "/metrics", nil, &m)
-	return m, err
-}
-
-// Lease asks for a shard; ok=false means no work is pending.
-func (c *Client) Lease(worker string) (LeaseGrant, bool, error) {
-	var grant LeaseGrant
-	found, err := c.do("POST", "/lease", map[string]string{"worker": worker}, &grant)
-	return grant, found && err == nil, err
-}
-
-// Heartbeat extends a held lease; renewed=false means the lease was
-// lost to expiry.
-func (c *Client) Heartbeat(worker, jobID string, shardID int) (bool, error) {
-	req := struct {
-		Worker string `json:"worker"`
-		Job    string `json:"job"`
-		Shard  int    `json:"shard"`
-	}{worker, jobID, shardID}
-	var resp struct {
-		Renewed bool `json:"renewed"`
-	}
-	_, err := c.do("POST", "/heartbeat", req, &resp)
-	return resp.Renewed, err
-}
-
-// Complete delivers a shard's rows; duplicate=true means another
-// delivery won (identical rows, by the determinism contract).
-func (c *Client) Complete(worker, jobID string, shardID int, rows campaign.Results) (bool, error) {
-	req := struct {
-		Worker string           `json:"worker"`
-		Job    string           `json:"job"`
-		Shard  int              `json:"shard"`
-		Rows   campaign.Results `json:"rows"`
-	}{worker, jobID, shardID, rows}
-	var resp struct {
-		Duplicate bool `json:"duplicate"`
-	}
-	_, err := c.do("POST", "/complete", req, &resp)
-	return resp.Duplicate, err
-}
-
-// WaitDone polls a job until it reports done, returning the final
-// status. The context bounds the wait.
-func (c *Client) WaitDone(ctx context.Context, jobID string, poll time.Duration) (JobStatus, error) {
-	if poll <= 0 {
-		poll = 250 * time.Millisecond
-	}
-	for {
-		st, err := c.Status(jobID)
-		if err != nil {
-			return st, err
-		}
-		if st.State == "done" {
-			return st, nil
-		}
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		case <-time.After(poll):
-		}
-	}
-}
-
-// Worker pulls shards from a daemon and simulates them: lease,
-// materialize the spec, campaign.RunPoints over the shard's indexes,
-// heartbeat while simulating, deliver. Cancelling the context stops
-// the worker gracefully: it finishes and delivers the shard it holds
-// (abandoning mid-shard would only burn the lease TTL before a
-// re-queue) and then stops leasing.
+// Worker pulls shards from a daemon and simulates them point by
+// point: lease, materialize the spec, simulate each granted grid
+// point, stream its row back immediately (the point-level checkpoint),
+// heartbeat while simulating, and deliver the whole shard at the end.
+// Cancelling the context stops the worker gracefully: it finishes and
+// delivers the shard it holds (abandoning mid-shard would only burn
+// the lease TTL before a re-queue) and then stops leasing. Closing
+// Kill stops it the way SIGKILL would — the in-flight simulation is
+// abandoned without a completion, and recovery is entirely the
+// server's job (the streamed points are already checkpointed; the
+// lease expires and the remainder is re-granted).
 type Worker struct {
-	// Client targets the daemon.
+	// Client targets the daemon. Give Client.Retry.Seed the worker's
+	// name so retry jitter decorrelates across a fleet.
 	Client Client
 	// Name identifies the worker in leases and liveness metrics.
 	Name string
-	// Poll is the idle wait between lease attempts when the queue is
-	// empty (default 200 ms).
-	Poll time.Duration
-	// OnShard, when set, observes each completed shard (logging).
+	// Poll is the idle wait after the first empty lease attempt; it
+	// doubles per consecutive idle attempt up to MaxPoll, with
+	// deterministic jitter derived from Name, so an idle fleet backs
+	// off the daemon instead of hammering it in lockstep (defaults
+	// 200 ms, 5 s).
+	Poll, MaxPoll time.Duration
+	// Kill, when closed, aborts the worker immediately — the chaos
+	// tests' SIGKILL. No drain, no completion, no further requests.
+	Kill <-chan struct{}
+	// OnShard, when set, observes each delivered shard (logging).
 	OnShard func(grant LeaseGrant, duplicate bool)
+	// OnPoint, when set, observes each simulated point after its
+	// streaming attempt: the grant, the grid index, whether the server
+	// already had the row, and the streaming error if any (streaming
+	// failures are non-fatal — the completion still carries the row).
+	OnPoint func(grant LeaseGrant, index int, duplicate bool, err error)
+	// OnAbandon, when set, observes a shard the worker gave up on
+	// because delivery kept failing; the lease expiry will requeue it.
+	OnAbandon func(grant LeaseGrant, err error)
 }
 
+// errKilled reports a Kill-channel abort out of runShard.
+var errKilled = errors.New("dist: worker killed")
+
 // Run executes the lease loop until the context is cancelled (graceful
-// drain: an in-flight shard is finished and delivered first) or a
-// non-retryable error occurs.
+// drain: an in-flight shard is finished and delivered first) or Kill
+// is closed (immediate abandonment). Transient daemon failures are
+// absorbed by the idle backoff; Run returns nil on both stop paths.
 func (w *Worker) Run(ctx context.Context) error {
-	poll := w.Poll
-	if poll <= 0 {
-		poll = 200 * time.Millisecond
+	killCtx := context.Background()
+	if w.Kill != nil {
+		var cancel context.CancelFunc
+		killCtx, cancel = context.WithCancel(killCtx)
+		defer cancel()
+		stopped := make(chan struct{})
+		defer close(stopped)
+		go func() {
+			select {
+			case <-w.Kill:
+				cancel()
+			case <-stopped:
+			}
+		}()
 	}
+	idle := 0
 	for {
-		if err := ctx.Err(); err != nil {
+		if ctx.Err() != nil || killCtx.Err() != nil {
 			return nil
 		}
 		grant, ok, err := w.Client.Lease(w.Name)
-		if err != nil {
-			// A daemon restart or network blip is survivable; keep
-			// polling until cancelled.
+		if err != nil || !ok {
+			// A daemon restart or network blip outlasting the client's
+			// retry budget is survivable; back off and keep polling.
+			idle++
 			select {
 			case <-ctx.Done():
 				return nil
-			case <-time.After(poll):
-			}
-			continue
-		}
-		if !ok {
-			select {
-			case <-ctx.Done():
+			case <-killCtx.Done():
 				return nil
-			case <-time.After(poll):
+			case <-time.After(w.idleDelay(idle)):
 			}
 			continue
 		}
-		if err := w.runShard(grant); err != nil {
+		idle = 0
+		if err := w.runShard(killCtx, grant); err != nil {
+			if errors.Is(err, errKilled) {
+				return nil
+			}
 			return err
 		}
 	}
 }
 
-// runShard simulates one leased shard and delivers its rows,
-// heartbeating in the background while the simulation runs.
-func (w *Worker) runShard(grant LeaseGrant) error {
+// idleDelay is the capped exponential idle backoff: Poll doubling per
+// consecutive empty poll up to MaxPoll, jittered into [d/2, d] by a
+// hash of (worker name, attempt) — deterministic per worker, spread
+// across a fleet.
+func (w *Worker) idleDelay(attempt int) time.Duration {
+	base, cap := w.Poll, w.MaxPoll
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|idle|%d", w.Name, attempt)
+	return half + time.Duration(h.Sum64()%uint64(half)+1)
+}
+
+// runShard simulates one leased shard point by point, streaming each
+// finished row back as a checkpoint, and delivers the full shard at
+// the end, heartbeating in the background throughout. Delivery
+// failures that outlast the retry budget abandon the shard to lease
+// expiry rather than killing the worker.
+func (w *Worker) runShard(killCtx context.Context, grant LeaseGrant) error {
 	spec, err := grant.Spec.Spec()
 	if err != nil {
 		return fmt.Errorf("dist: worker %s: bad spec for job %s: %v", w.Name, grant.Job, err)
@@ -245,21 +150,52 @@ func (w *Worker) runShard(grant LeaseGrant) error {
 			select {
 			case <-hbStop:
 				return
+			case <-killCtx.Done():
+				return
 			case <-time.After(interval):
 				// A lost lease is not fatal: completion is idempotent.
 				w.Client.Heartbeat(w.Name, grant.Job, grant.Shard)
 			}
 		}
 	}()
-	rows, err := campaign.RunPoints(context.Background(), spec, grant.Indexes)
-	close(hbStop)
-	<-hbDone
-	if err != nil {
-		return fmt.Errorf("dist: worker %s: job %s shard %d: %v", w.Name, grant.Job, grant.Shard, err)
+	defer func() {
+		close(hbStop)
+		<-hbDone
+	}()
+
+	rows := make(campaign.Results, 0, len(grant.Indexes))
+	for _, idx := range grant.Indexes {
+		ptRows, err := campaign.RunPoints(killCtx, spec, []int{idx})
+		if killCtx.Err() != nil {
+			return errKilled
+		}
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: job %s shard %d point %d: %v",
+				w.Name, grant.Job, grant.Shard, idx, err)
+		}
+		row := ptRows[0]
+		rows = append(rows, row)
+		// Stream the checkpoint. Failure is non-fatal: the row rides
+		// along in the completion, and the server tolerates gaps in
+		// the stream.
+		dup, err := w.Client.StreamPoint(w.Name, grant.Job, grant.Shard, row)
+		if w.OnPoint != nil {
+			w.OnPoint(grant, idx, dup, err)
+		}
+	}
+	if killCtx.Err() != nil {
+		return errKilled
 	}
 	dup, err := w.Client.Complete(w.Name, grant.Job, grant.Shard, rows)
 	if err != nil {
-		return fmt.Errorf("dist: worker %s: delivering job %s shard %d: %v", w.Name, grant.Job, grant.Shard, err)
+		// The shard's rows are likely already streamed; whatever is
+		// missing will be re-granted when the lease expires. Abandon
+		// rather than dying — a worker fleet should outlive a flaky
+		// daemon.
+		if w.OnAbandon != nil {
+			w.OnAbandon(grant, err)
+		}
+		return nil
 	}
 	if w.OnShard != nil {
 		w.OnShard(grant, dup)

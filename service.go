@@ -49,6 +49,20 @@ type (
 	// DistPlan is a spec resolved against a store: fingerprinted
 	// points, expected cache hits, and the shard layout.
 	DistPlan = dist.Plan
+	// DistRetryPolicy bounds a DistClient's retry loop: capped
+	// exponential backoff with deterministic jitter, per-attempt
+	// timeouts, and no retries on 4xx verdicts.
+	DistRetryPolicy = dist.RetryPolicy
+	// DistStorePurger is the optional garbage-collection side of a
+	// DistStore (hackbench -store-gc); the file-dir store implements it.
+	DistStorePurger = dist.Purger
+	// DistFaultStore wraps a DistStore with a seeded deterministic
+	// fault schedule — failure, delay, and post-Put corruption — for
+	// chaos testing against your own store deployments.
+	DistFaultStore = dist.FaultStore
+	// DistFaultTransport is a fault-injecting http.RoundTripper for the
+	// DistClient: seeded drops, duplicates, 503s, and delays.
+	DistFaultTransport = dist.FaultTransport
 )
 
 // NewDistServer assembles a daemon, resuming any jobs persisted in the
@@ -63,6 +77,19 @@ func NewDistDirStore(dir string) (DistStore, error) { return dist.NewDirStore(di
 // planning step behind job admission and hackbench -dry-run.
 func NewDistPlan(w WireCampaign, store DistStore, salt string, shardSize int) (*DistPlan, error) {
 	return dist.NewPlan(w, store, salt, shardSize)
+}
+
+// PurgeDistStore garbage-collects a memoization store directory:
+// entries written by code versions other than keepVersion and
+// quarantined corrupt files are deleted (dryRun only counts them).
+// Stale-version entries can never be served again — the version salts
+// the fingerprint — so purging them is always safe.
+func PurgeDistStore(dir, keepVersion string, dryRun bool) (int, error) {
+	store, err := dist.NewDirStore(dir)
+	if err != nil {
+		return 0, err
+	}
+	return store.Purge(keepVersion, dryRun)
 }
 
 // SimCodeVersion is the simulator behavior version salted into every
