@@ -41,7 +41,7 @@ const scaleAllocBudget = 0.25
 // state on the timing wheel and asserts the per-event allocation rate
 // stays under the large-N budget.
 func TestScaleAllocBudget(t *testing.T) {
-	n := scaleNetwork(100, sim.BackendWheel)
+	n := scaleNetwork(100, sim.BackendWheel, nil)
 	n.Run(scaleWarm)
 
 	var before, after runtime.MemStats

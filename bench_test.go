@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"tcphack/internal/campaign"
+	"tcphack/internal/channel"
 	"tcphack/internal/hack"
 	"tcphack/internal/node"
 	"tcphack/internal/scenario"
@@ -135,10 +136,15 @@ const (
 )
 
 // scaleNetwork builds the n-station grid scenario on the given
-// scheduler backend with staggered per-client UDP downloads.
-func scaleNetwork(stations int, backend sim.Backend) *node.Network {
+// scheduler backend with staggered per-client UDP downloads. A non-nil
+// geometry runs the grid on the spatial PHY (2 m spacing keeps every
+// station inside carrier-sense range, so the collision-domain shape
+// matches the scalar channel while the power-matrix and per-receiver
+// sensing code carry the load).
+func scaleNetwork(stations int, backend sim.Backend, geom *channel.Geometry) *node.Network {
 	cfg := scenario.New(scenario.With80211n(), scenario.WithGrid(stations, 2))
 	cfg.SchedulerBackend = backend
+	cfg.Geometry = geom
 	n := node.New(cfg)
 	for ci := 0; ci < stations; ci++ {
 		n.StartUDPDownload(ci, scaleAggregateKbps/stations, 1500,
@@ -150,14 +156,14 @@ func scaleNetwork(stations int, backend sim.Backend) *node.Network {
 // benchScale runs the grid scenario at each station count, timing only
 // the steady-state window (network construction and warmup excluded),
 // and reports events/s, allocs/event, and ns/event.
-func benchScale(b *testing.B, backend sim.Backend) {
+func benchScale(b *testing.B, backend sim.Backend, geom *channel.Geometry) {
 	for _, n := range []int{10, 100, 1000} {
 		b.Run(fmt.Sprintf("stations=%d", n), func(b *testing.B) {
 			var events, mallocs uint64
 			var before, after runtime.MemStats
 			b.StopTimer()
 			for i := 0; i < b.N; i++ {
-				net := scaleNetwork(n, backend)
+				net := scaleNetwork(n, backend, geom)
 				net.Run(scaleWarm)
 				runtime.ReadMemStats(&before)
 				ev0 := net.Sched.EventsFired()
@@ -181,12 +187,21 @@ func benchScale(b *testing.B, backend sim.Backend) {
 
 // BenchmarkScale measures the production (timing-wheel) scheduler's
 // event throughput as the network grows from 10 to 1000 stations.
-func BenchmarkScale(b *testing.B) { benchScale(b, sim.BackendWheel) }
+func BenchmarkScale(b *testing.B) { benchScale(b, sim.BackendWheel, nil) }
 
 // BenchmarkScaleHeap runs the identical workload on the retained
 // binary-heap backend — the pre-wheel baseline the scaling numbers are
 // compared against.
-func BenchmarkScaleHeap(b *testing.B) { benchScale(b, sim.BackendHeap) }
+func BenchmarkScaleHeap(b *testing.B) { benchScale(b, sim.BackendHeap, nil) }
+
+// BenchmarkScaleSpatial runs the identical workload on the spatial PHY
+// (default path-loss geometry, timing-wheel scheduler) — the cost of
+// the power matrix, per-receiver carrier sensing, and SINR capture
+// relative to the scalar channel, gated in CI against the heap
+// baseline's ns/event.
+func BenchmarkScaleSpatial(b *testing.B) {
+	benchScale(b, sim.BackendWheel, channel.DefaultGeometry())
+}
 
 // BenchmarkSimulatorEventRate measures raw simulator throughput: a
 // saturated 10-client 802.11n network's events per wall second.

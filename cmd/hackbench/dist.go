@@ -289,10 +289,11 @@ func wireFromSweep(sw sweepConfig, o tcphack.ExperimentOptions) (tcphack.WireCam
 	w := tcphack.WireCampaign{
 		Scenario: sw.scenario,
 		Axes: tcphack.WireCampaignAxes{
-			Modes:    splitCSV(sw.modes),
-			Rates:    splitCSV(sw.rates),
-			Adapters: splitCSV(sw.adapters),
-			Seeds:    tcphack.CampaignSeeds(o.Seed, o.Runs),
+			Modes:      splitCSV(sw.modes),
+			Rates:      splitCSV(sw.rates),
+			Adapters:   splitCSV(sw.adapters),
+			Topologies: splitCSV(sw.topologies),
+			Seeds:      tcphack.CampaignSeeds(o.Seed, o.Runs),
 		},
 		Warmup:  o.Warmup,
 		Measure: o.Measure,

@@ -31,6 +31,12 @@
 //	hackbench -sweep sora-stock -sweep-modes off,more-data -runs 3 \
 //	    -baseline baseline.json          # exits 1 on regression
 //
+//	# spatial PHY: sweep registered topologies as a campaign axis, or
+//	# pin the channel geometry for the whole sweep
+//	hackbench -sweep ht150-stock -sweep-modes off,more-data \
+//	    -sweep-topologies 2bss-overlap,2bss-hidden -airtime
+//	hackbench -sweep ht150-stock -geometry degenerate -format json
+//
 // The comparison aggregates rows with group-by (swept axes minus the
 // seed by default; -groupby overrides) and flags any group whose
 // goodput, retries, ROHC failures, or airtime moved in its worse
@@ -67,6 +73,8 @@ func main() {
 	sweepLoss := flag.String("sweep-loss", "", "comma-separated uniform loss probabilities to sweep")
 	sweepAdapters := flag.String("sweep-adapters", "", "comma-separated rate adapters to sweep (fixed, fixed:<rate>, ideal, argmax, minstrel)")
 	sweepRates := flag.String("sweep-rates", "", "comma-separated PHY rates to sweep (a6..a54, mcs0..mcs7, mcs<i>x<streams>)")
+	sweepTopologies := flag.String("sweep-topologies", "", "comma-separated registered topology names to sweep (default, degenerate, 2bss-hidden, 2bss-overlap, grid-3x3-dense)")
+	geometry := flag.String("geometry", "", "pin the sweep's channel geometry: scalar (legacy channel), pathloss (default spatial), or degenerate (spatial pinned to scalar semantics)")
 	fig11Method := flag.String("fig11-method", "ideal", "Figure 11 method: ideal, minstrel (one simulation per SNR), or envelope (legacy fixed-rate sweep)")
 	format := flag.String("format", "text", "sweep output: text, csv, json")
 	saveBaseline := flag.String("save-baseline", "", "aggregate the sweep and persist it as a baseline JSON file")
@@ -181,6 +189,8 @@ func main() {
 			scenario: *sweep,
 			modes:    *sweepModes, clients: *sweepClients, loss: *sweepLoss,
 			adapters: *sweepAdapters, rates: *sweepRates,
+			topologies:   *sweepTopologies,
+			geometry:     *geometry,
 			format:       *format,
 			saveBaseline: *saveBaseline, baseline: *baseline,
 			groupBy: *groupBy, tol: *tolFlag,
@@ -198,6 +208,11 @@ func main() {
 			// tracer hooks (and must not, to keep shard results memoizable).
 			if sw.traceDir != "" || sw.airtime {
 				finish(2, fmt.Errorf("-trace and -airtime apply to local sweeps only, not -submit"))
+			}
+			// Geometry mutates the base configuration, which the wire
+			// protocol cannot carry; topologies travel by name instead.
+			if sw.geometry != "" {
+				finish(2, fmt.Errorf("-geometry applies to local sweeps only, not -submit; sweep the degenerate topology instead"))
 			}
 			finish(runSubmit(sw, o, *server, *shardSize, *wait, *minCached, retry))
 		}
@@ -243,6 +258,8 @@ func main() {
 type sweepConfig struct {
 	scenario                                string
 	modes, clients, loss, adapters, rates   string
+	topologies                              string
+	geometry                                string
 	format, saveBaseline, baseline, groupBy string
 	tol                                     string
 	progress                                bool
@@ -309,6 +326,27 @@ func runSweep(sw sweepConfig, o tcphack.ExperimentOptions) (int, error) {
 			}
 			axes.Rates = append(axes.Rates, r)
 		}
+	}
+	if sw.topologies != "" {
+		for _, s := range strings.Split(sw.topologies, ",") {
+			name := strings.TrimSpace(s)
+			if _, ok := tcphack.TopologyOption(name); !ok {
+				return 0, fmt.Errorf("unknown topology %q (want one of %v)",
+					name, tcphack.TopologyNames())
+			}
+			axes.Topologies = append(axes.Topologies, name)
+		}
+	}
+	switch sw.geometry {
+	case "":
+	case "scalar":
+		tcphack.WithGeometry(nil)(&base)
+	case "pathloss":
+		tcphack.WithPathLoss()(&base)
+	case "degenerate":
+		tcphack.WithGeometry(tcphack.DegenerateGeometry())(&base)
+	default:
+		return 0, fmt.Errorf("unknown geometry %q (want scalar, pathloss, or degenerate)", sw.geometry)
 	}
 
 	workload, err := tcphack.NamedCampaignWorkload(tcphack.ScenarioWorkload(sw.scenario))

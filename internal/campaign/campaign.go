@@ -9,10 +9,12 @@ import (
 	"sync"
 
 	"tcphack/internal/hack"
+	"tcphack/internal/mac"
 	"tcphack/internal/node"
 	"tcphack/internal/phy"
 	"tcphack/internal/scenario"
 	"tcphack/internal/sim"
+	"tcphack/internal/stats"
 	"tcphack/internal/trace"
 )
 
@@ -39,6 +41,12 @@ type Axes struct {
 	Adapters []string  // rate-adapter specs (scenario.WithRateAdapter)
 	Loss     []float64 // uniform per-frame loss probability
 	SNRsDB   []float64 // fixed channel SNR via the physical model
+	// Topologies sweeps registered topology names
+	// (scenario.RegisterTopology): spatial layouts, BSS plans, and
+	// geometry presets applied on top of the base configuration.
+	// Unknown names panic when the point is materialized; CLIs should
+	// pre-validate against scenario.TopologyNames.
+	Topologies []string
 }
 
 // Seeds returns n consecutive seeds starting at base — the usual
@@ -55,21 +63,23 @@ func Seeds(base int64, n int) []int64 {
 type Point struct {
 	// Index is the point's position in Spec.Points() order; Results are
 	// returned in Index order regardless of worker count.
-	Index   int       `json:"index"`
-	Mode    hack.Mode `json:"-"`
-	Clients int       `json:"clients"`
-	Seed    int64     `json:"seed"`
-	Rate    phy.Rate  `json:"-"`
-	Adapter string    `json:"adapter,omitempty"` // rate-adapter spec; "" when unswept
-	LossPct float64   `json:"loss_pct"`          // percent, 0 when the axis is unswept
-	SNRdB   float64   `json:"snr_db"`            // 0 when the axis is unswept
+	Index    int       `json:"index"`
+	Mode     hack.Mode `json:"-"`
+	Clients  int       `json:"clients"`
+	Seed     int64     `json:"seed"`
+	Rate     phy.Rate  `json:"-"`
+	Adapter  string    `json:"adapter,omitempty"`  // rate-adapter spec; "" when unswept
+	LossPct  float64   `json:"loss_pct"`           // percent, 0 when the axis is unswept
+	SNRdB    float64   `json:"snr_db"`             // 0 when the axis is unswept
+	Topology string    `json:"topology,omitempty"` // topology name; "" when unswept
 
-	sweepRate, sweepAdapter, sweepLoss, sweepSNR bool
+	sweepRate, sweepAdapter, sweepLoss, sweepSNR, sweepTopology bool
 }
 
 // AxisValues returns the point's axis values as canonical strings,
 // keyed by the results-layer axis column names ("mode", "clients",
-// "seed", "rate_kbps", "adapter", "loss_pct", "snr_db"). Numeric
+// "seed", "rate_kbps", "adapter", "loss_pct", "snr_db",
+// "topology"). Numeric
 // values use the shortest round-tripping decimal form — the same
 // canonicalization as results.Num — so the map can key group lookups
 // and content-addressed fingerprints interchangeably.
@@ -82,6 +92,7 @@ func (pt Point) AxisValues() map[string]string {
 		"adapter":   pt.Adapter,
 		"loss_pct":  strconv.FormatFloat(pt.LossPct, 'f', -1, 64),
 		"snr_db":    strconv.FormatFloat(pt.SNRdB, 'f', -1, 64),
+		"topology":  pt.Topology,
 	}
 }
 
@@ -151,28 +162,33 @@ type Spec struct {
 //
 // Upload goodput lands at the wired server rather than a client, so
 // Result.AggregateMbps folds upload flows in explicitly (see Result).
+//
+// The closures drive every client the network actually built
+// (len(n.Clients)), not the point's clients-axis value: multi-BSS
+// topologies instantiate the per-BSS client count in each BSS, so the
+// totals differ.
 func NamedWorkload(kind string) (func(n *node.Network, pt Point), error) {
 	switch kind {
 	case "", "download":
 		return func(n *node.Network, pt Point) {
-			for ci := 0; ci < pt.Clients; ci++ {
+			for ci := 0; ci < len(n.Clients); ci++ {
 				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
 			}
 		}, nil
 	case "upload":
 		return func(n *node.Network, pt Point) {
-			for ci := 0; ci < pt.Clients; ci++ {
+			for ci := 0; ci < len(n.Clients); ci++ {
 				n.StartUpload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
 			}
 		}, nil
 	case "mixed":
 		return func(n *node.Network, pt Point) {
-			if pt.Clients == 1 {
+			if len(n.Clients) == 1 {
 				n.StartDownload(0, 0, 0)
 				n.StartUpload(0, 0, 25*sim.Millisecond)
 				return
 			}
-			for ci := 0; ci < pt.Clients; ci++ {
+			for ci := 0; ci < len(n.Clients); ci++ {
 				stagger := sim.Duration(ci) * 50 * sim.Millisecond
 				if ci%2 == 0 {
 					n.StartDownload(ci, 0, stagger)
@@ -248,8 +264,9 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Points enumerates the sweep grid in its deterministic order: modes,
-// then clients, then rates, then adapters, then loss, then SNR, then
-// seeds (seeds innermost, so repetitions of one cell are adjacent).
+// then clients, then topologies, then rates, then adapters, then
+// loss, then SNR, then seeds (seeds innermost, so repetitions of one
+// cell are adjacent).
 func (s Spec) Points() []Point {
 	modes := s.Axes.Modes
 	if len(modes) == 0 {
@@ -287,21 +304,30 @@ func (s Spec) Points() []Point {
 	if !sweepSNR {
 		snrs = []float64{0}
 	}
+	topos := s.Axes.Topologies
+	sweepTopology := len(topos) > 0
+	if !sweepTopology {
+		topos = []string{""}
+	}
 
 	var pts []Point
 	for _, m := range modes {
 		for _, c := range clients {
-			for _, r := range rates {
-				for _, a := range adapters {
-					for _, l := range loss {
-						for _, snr := range snrs {
-							for _, seed := range seeds {
-								pts = append(pts, Point{
-									Index: len(pts), Mode: m, Clients: c, Seed: seed,
-									Rate: r, Adapter: a, LossPct: l * 100, SNRdB: snr,
-									sweepRate: sweepRate, sweepAdapter: sweepAdapter,
-									sweepLoss: sweepLoss, sweepSNR: sweepSNR,
-								})
+			for _, topo := range topos {
+				for _, r := range rates {
+					for _, a := range adapters {
+						for _, l := range loss {
+							for _, snr := range snrs {
+								for _, seed := range seeds {
+									pts = append(pts, Point{
+										Index: len(pts), Mode: m, Clients: c, Seed: seed,
+										Rate: r, Adapter: a, LossPct: l * 100, SNRdB: snr,
+										Topology:  topo,
+										sweepRate: sweepRate, sweepAdapter: sweepAdapter,
+										sweepLoss: sweepLoss, sweepSNR: sweepSNR,
+										sweepTopology: sweepTopology,
+									})
+								}
 							}
 						}
 					}
@@ -318,6 +344,19 @@ func (s Spec) config(pt Point) node.Config {
 	cfg.Mode = pt.Mode
 	cfg.Clients = pt.Clients
 	cfg.Seed = pt.Seed
+	if pt.sweepTopology {
+		topo, ok := scenario.TopologyOption(pt.Topology)
+		if !ok {
+			panic(fmt.Sprintf("campaign: unknown topology %q (want one of %v)",
+				pt.Topology, scenario.TopologyNames()))
+		}
+		topo(&cfg)
+		// Topologies may pin a client count (WithPositions); the clients
+		// axis still wins when it is actually swept.
+		if len(s.Axes.Clients) > 0 {
+			cfg.Clients = pt.Clients
+		}
+	}
 	if pt.sweepRate {
 		scenario.WithRate(pt.Rate)(&cfg)
 	}
@@ -490,7 +529,18 @@ func (s Spec) runPoint(pt Point) Result {
 		r.AirtimeBusyPct = 100 * float64(n.Medium.AirtimeBusy) / float64(now)
 	}
 	r.Collisions = n.Medium.CollidedTx
-	ap := n.AP.MAC.Stats
+	// Sum AP-side MAC health over every BSS; for the single-BSS star
+	// this is exactly the legacy n.AP numbers.
+	var ap stats.MAC
+	for _, b := range n.BSSes {
+		s := b.AP.MAC.Stats
+		ap.MPDUsSent += s.MPDUsSent
+		ap.MPDUsDelivered += s.MPDUsDelivered
+		ap.DeliveredFirstTry += s.DeliveredFirstTry
+		ap.DeliveredRetried += s.DeliveredRetried
+		ap.Retries += s.Retries
+		ap.QueueDrops += s.QueueDrops
+	}
 	r.MPDUsSent = ap.MPDUsSent
 	r.MPDUsDelivered = ap.MPDUsDelivered
 	r.Retries = ap.Retries
@@ -517,6 +567,30 @@ func (s Spec) runPoint(pt Point) Result {
 			r.Extra["airtime_idle_pct"] = 100 * float64(rep.Idle) / el
 		}
 		r.Extra["airtime_efficiency"] = rep.Efficiency()
+		// Per-BSS attribution: group station airtime by owning BSS so
+		// multi-BSS sweeps expose each cell's airtime share and useful
+		// fraction of it (data / busy).
+		if len(n.BSSes) > 1 {
+			busy := make([]sim.Duration, len(n.BSSes))
+			data := make([]sim.Duration, len(n.BSSes))
+			for _, st := range rep.Stations {
+				bi := n.BSSOfAddr(mac.Addr(st.Station))
+				if bi < 0 {
+					continue
+				}
+				busy[bi] += st.Buckets.Busy()
+				data[bi] += st.Buckets.Data
+			}
+			for bi := range n.BSSes {
+				prefix := fmt.Sprintf("airtime_bss%d_", bi)
+				if el := float64(rep.Elapsed); el > 0 {
+					r.Extra[prefix+"busy_pct"] = 100 * float64(busy[bi]) / el
+				}
+				if busy[bi] > 0 {
+					r.Extra[prefix+"efficiency"] = float64(data[bi]) / float64(busy[bi])
+				}
+			}
+		}
 	}
 	if c, ok := userTr.(io.Closer); ok {
 		c.Close()

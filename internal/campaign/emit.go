@@ -18,7 +18,7 @@ func (rs Results) WriteJSON(w io.Writer) error {
 // csvHeader is the fixed CSV column set (Extra metrics are JSON-only).
 var csvHeader = []string{
 	"campaign", "index", "mode", "clients", "seed", "rate_kbps", "adapter",
-	"loss_pct", "snr_db", "skipped", "aggregate_mbps", "per_client_mbps",
+	"loss_pct", "snr_db", "topology", "skipped", "aggregate_mbps", "per_client_mbps",
 	"airtime_busy_pct", "collisions", "mpdus_sent", "mpdus_delivered",
 	"retries", "queue_drops", "no_retry_pct", "decomp_failures",
 	"flows_done", "flows_total",
@@ -48,6 +48,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			r.Adapter,
 			strconv.FormatFloat(r.LossPct, 'f', 3, 64),
 			strconv.FormatFloat(r.SNRdB, 'f', 1, 64),
+			r.Topology,
 			strconv.FormatBool(r.Skipped),
 			strconv.FormatFloat(r.AggregateMbps, 'f', 3, 64),
 			per,

@@ -31,6 +31,9 @@ type WireAxes struct {
 	Loss []float64 `json:"loss,omitempty"`
 	// SNRsDB are fixed channel SNRs in dB.
 	SNRsDB []float64 `json:"snrs_db,omitempty"`
+	// Topologies are registered topology names
+	// (scenario.RegisterTopology vocabulary).
+	Topologies []string `json:"topologies,omitempty"`
 }
 
 // Axes parses the wire form back into executable Axes, validating
@@ -61,6 +64,13 @@ func (w WireAxes) Axes() (Axes, error) {
 	}
 	a.Loss = append(a.Loss, w.Loss...)
 	a.SNRsDB = append(a.SNRsDB, w.SNRsDB...)
+	for _, s := range w.Topologies {
+		if _, ok := scenario.TopologyOption(s); !ok {
+			return Axes{}, fmt.Errorf("campaign: unknown topology %q (want one of %v)",
+				s, scenario.TopologyNames())
+		}
+		a.Topologies = append(a.Topologies, s)
+	}
 	return a, nil
 }
 
@@ -159,6 +169,7 @@ func (w WireSpec) SweptAxes() []string {
 	add("adapter", len(w.Axes.Adapters))
 	add("loss_pct", len(w.Axes.Loss))
 	add("snr_db", len(w.Axes.SNRsDB))
+	add("topology", len(w.Axes.Topologies))
 	return out
 }
 

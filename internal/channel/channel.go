@@ -1,15 +1,3 @@
-// Package channel models the shared wireless medium: a single
-// collision domain in which every attached radio hears every
-// transmission, overlapping transmissions collide (no capture effect),
-// and non-collided frames are subject to an error model.
-//
-// Error models range from "no loss" through fixed per-link frame loss
-// (used to reproduce the paper's SoRa testbed, which observed 12%/2%
-// loss for stock TCP vs TCP/HACK) to a physical SNR model:
-// log-distance path loss feeding AWGN bit-error-rate curves per
-// modulation, with convolutional-code performance estimated by a
-// Chernoff union bound (the approach of ns-3's NIST error model) —
-// used for the paper's Figure 11 SNR sweep.
 package channel
 
 import (
@@ -66,6 +54,13 @@ type Transmission struct {
 	Start    sim.Time
 	End      sim.Time
 	collided bool
+
+	// Spatial-regime state: the source's radio index and, per receiver
+	// index, the worst-instant aggregate interference power (mW) seen
+	// during the frame. +Inf marks a receiver that was itself
+	// transmitting during an overlap (half-duplex: it can never decode).
+	srcIdx    int
+	interfMax []float64
 }
 
 // Duration returns the airtime of the transmission.
@@ -157,6 +152,28 @@ type Medium struct {
 	// nextMeta annotates the next Transmit for tracing (see StageTx).
 	nextMeta TxMeta
 
+	// Geometry, when non-nil, switches the medium to the spatial PHY:
+	// per-pair path loss, per-receiver carrier sensing, and SINR-based
+	// capture (see doc.go). Assign it before the first Transmit; radio
+	// positions are sampled when the power matrix is built and must not
+	// move afterwards. Nil keeps the scalar single-collision-domain
+	// channel bit-identical to pre-spatial builds.
+	Geometry *Geometry
+
+	// Spatial-regime state, built lazily by ensureSpatial.
+	radioIdx   map[Radio]int
+	powerMW    [][]float64 // symmetric rx-power matrix, diagonal 0
+	txOwn      []int       // in-flight transmissions per source radio
+	senseBusy  []bool      // last carrier state reported to each radio
+	senseMW    []float64   // summed on-air rx power at each radio
+	activeList []*Transmission
+	noiseMW    float64
+	csMW       float64
+	floorMW    float64
+	scratchSum []float64
+	scratchOut []Outcome
+	interfFree [][]float64
+
 	// Stats.
 	TxCount        uint64
 	CollidedTx     uint64
@@ -239,6 +256,11 @@ func (m *Medium) Transmit(src Radio, rate phy.Rate, length int, frame any) *Tran
 		m.Tracer.TxStart(now, tx.ID, meta.Src, meta.Dst, meta.Class,
 			rate.Kbps, length, meta.MPDUs, meta.Retried, tx.End, meta.Extra)
 	}
+	if m.Geometry != nil {
+		m.transmitSpatial(tx, now)
+		m.sched.Post(tx.End, m.finishFn, tx)
+		return tx
+	}
 	// Any overlap collides every involved transmission, both ways. A
 	// transmission ending exactly now does not overlap (its finish event
 	// may simply not have run yet at this instant).
@@ -270,6 +292,10 @@ func (m *Medium) Transmit(src Radio, rate phy.Rate, length int, frame any) *Tran
 }
 
 func (m *Medium) finish(tx *Transmission) {
+	if m.Geometry != nil {
+		m.finishSpatial(tx)
+		return
+	}
 	delete(m.active, tx)
 	if len(m.active) == 0 {
 		m.AirtimeBusy += m.sched.Now() - m.lastBusyStart

@@ -1,0 +1,434 @@
+package channel
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"tcphack/internal/phy"
+	"tcphack/internal/sim"
+)
+
+// Geometry configures the spatial PHY regime (see doc.go): log-distance
+// path loss, per-receiver carrier sensing, and SINR capture. A Geometry
+// is read-only once in use — one instance may be shared by many
+// concurrently running media (campaign workers).
+type Geometry struct {
+	// TxPowerDBm is the transmit power of every radio (default 16 dBm).
+	TxPowerDBm float64
+	// RefLossDB is path loss at 1 m (≈46.7 dB at 2.4 GHz free space).
+	RefLossDB float64
+	// Exponent is the path-loss exponent (3.0 ≈ indoor office).
+	Exponent float64
+	// NoiseDBm is the receiver noise floor (≈ -90.9 dBm for 40 MHz with
+	// a 7 dB noise figure).
+	NoiseDBm float64
+	// CSThresholdDBm is the energy-detect carrier-sense threshold: a
+	// radio reports busy while the summed received power of in-flight
+	// transmissions is at or above it. -Inf makes every radio sense
+	// every transmission (the scalar channel's global busy state).
+	CSThresholdDBm float64
+	// DeliveryFloorDBm is the weakest received power at which a frame
+	// is still handed to a receiver at all. Below it there is no EndRx:
+	// no NAV, no EIFS, no promiscuous copy. -Inf delivers everywhere.
+	DeliveryFloorDBm float64
+	// CaptureMarginDB is added to the rate's SINR decode threshold when
+	// a frame suffered overlap. 0 models ideal capture; +Inf disables
+	// capture entirely (any overlap collides, the scalar semantics).
+	CaptureMarginDB float64
+}
+
+// DefaultGeometry returns the spatial PHY matching the paper's indoor
+// 40 MHz 802.11n setup (the same constants as DefaultSNRModel) with an
+// 802.11-style -82 dBm carrier-sense threshold and delivery floor and
+// ideal capture. Sense/delivery range works out to ≈51.5 m.
+func DefaultGeometry() *Geometry {
+	return &Geometry{
+		TxPowerDBm:       16,
+		RefLossDB:        46.7,
+		Exponent:         3.0,
+		NoiseDBm:         -90.9,
+		CSThresholdDBm:   -82,
+		DeliveryFloorDBm: -82,
+		CaptureMarginDB:  0,
+	}
+}
+
+// DegenerateGeometry returns the spatial configuration that reproduces
+// the scalar channel exactly regardless of radio positions: every radio
+// senses every transmission (CS threshold -Inf), every frame reaches
+// every radio (delivery floor -Inf), and capture never succeeds
+// (margin +Inf), so any overlap collides everywhere. It is the oracle
+// geometry for the differential suite.
+func DegenerateGeometry() *Geometry {
+	g := DefaultGeometry()
+	g.CSThresholdDBm = math.Inf(-1)
+	g.DeliveryFloorDBm = math.Inf(-1)
+	g.CaptureMarginDB = math.Inf(1)
+	return g
+}
+
+// RxPowerDBm returns the received power at distance metres under the
+// geometry's log-distance path-loss model. Distances under 1 m clamp
+// to the 1 m reference point.
+func (g *Geometry) RxPowerDBm(distance float64) float64 {
+	if distance < 1 {
+		distance = 1
+	}
+	return g.TxPowerDBm - g.RefLossDB - 10*g.Exponent*math.Log10(distance)
+}
+
+// CaptureOK reports whether a frame at rate received at signalDBm
+// decodes despite the given concurrent interferers: its SINR must
+// clear SINRThresholdDB(rate) plus the capture margin. With no
+// interferers the frame always decodes (noise corruption is the error
+// model's job, drawn separately). The decision is deterministic and
+// independent of interferer order.
+func (g *Geometry) CaptureOK(rate phy.Rate, signalDBm float64, interferersDBm []float64) bool {
+	if len(interferersDBm) == 0 {
+		return true
+	}
+	return SINRdB(signalDBm, interferersDBm, g.NoiseDBm) >= SINRThresholdDB(rate)+g.CaptureMarginDB
+}
+
+// SINRdB returns the signal-to-interference-plus-noise ratio in dB for
+// a signal received at signalDBm over the given interferer powers and
+// noise floor. Summation is performed in a canonical order, so the
+// result is bit-identical under any permutation of interferersDBm.
+func SINRdB(signalDBm float64, interferersDBm []float64, noiseDBm float64) float64 {
+	terms := make([]float64, 0, len(interferersDBm)+1)
+	terms = append(terms, phy.DBmToMilliwatts(noiseDBm))
+	for _, p := range interferersDBm {
+		terms = append(terms, phy.DBmToMilliwatts(p))
+	}
+	// Descending canonical order: float addition is commutative but not
+	// associative, so a fixed order is what makes the decode decision
+	// permutation-independent (FuzzCapture pins this).
+	sort.Sort(sort.Reverse(sort.Float64Slice(terms)))
+	denom := 0.0
+	for _, t := range terms {
+		denom += t
+	}
+	sig := phy.DBmToMilliwatts(signalDBm)
+	if denom == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/denom)
+}
+
+// sinrThresholds caches SINRThresholdDB per rate; phy.Rate is a
+// comparable struct, so it keys the map directly.
+var sinrThresholds sync.Map
+
+// SINRThresholdDB returns the decode threshold for rate: the lowest
+// SINR (dB) at which a 1460-byte frame's FrameErrorRate is at most
+// 10%. It reuses the scalar channel's SNR→FER tables, so the capture
+// model and the noise model share one waterfall per rate.
+func SINRThresholdDB(rate phy.Rate) float64 {
+	if v, ok := sinrThresholds.Load(rate); ok {
+		return v.(float64)
+	}
+	const frameLen = 1460
+	lo, hi := -10.0, 60.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if FrameErrorRate(rate, mid, frameLen) <= 0.1 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	sinrThresholds.Store(rate, hi)
+	return hi
+}
+
+// rxNone marks a receiver that gets no EndRx for a transmission
+// (below the delivery floor, or the source itself).
+const rxNone Outcome = -1
+
+// ensureSpatial (idempotently) extends the spatial state to cover all
+// attached radios: index map, symmetric power matrix, per-radio
+// carrier state, and linear-domain thresholds. Radios attached after
+// the first Transmit get rows appended; existing indices never move.
+func (m *Medium) ensureSpatial() {
+	n := len(m.radios)
+	if len(m.powerMW) == n {
+		return
+	}
+	if m.radioIdx == nil {
+		m.radioIdx = make(map[Radio]int, n)
+	}
+	g := m.Geometry
+	old := len(m.powerMW)
+	mat := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range mat {
+		mat[i] = buf[i*n : (i+1)*n]
+	}
+	for i := 0; i < old; i++ {
+		copy(mat[i], m.powerMW[i])
+	}
+	for i := old; i < n; i++ {
+		m.radioIdx[m.radios[i]] = i
+		m.txOwn = append(m.txOwn, 0)
+		m.senseBusy = append(m.senseBusy, false)
+		m.senseMW = append(m.senseMW, 0)
+	}
+	for i := 0; i < n; i++ {
+		pi := m.radios[i].Position()
+		lo := i + 1
+		if lo < old {
+			lo = old
+		}
+		for j := lo; j < n; j++ {
+			p := phy.DBmToMilliwatts(g.RxPowerDBm(pi.DistanceTo(m.radios[j].Position())))
+			mat[i][j] = p
+			mat[j][i] = p
+		}
+	}
+	m.powerMW = mat
+	// Radios attached mid-transmission start sensing the power already
+	// on the air.
+	for i := old; i < n; i++ {
+		for _, o := range m.activeList {
+			m.senseMW[i] += mat[o.srcIdx][i]
+		}
+	}
+	m.noiseMW = phy.DBmToMilliwatts(g.NoiseDBm)
+	m.csMW = phy.DBmToMilliwatts(g.CSThresholdDBm)
+	m.floorMW = phy.DBmToMilliwatts(g.DeliveryFloorDBm)
+	m.scratchSum = make([]float64, n)
+	m.scratchOut = make([]Outcome, n)
+}
+
+// interfBuf returns a zeroed interference-maximum buffer of length n,
+// reusing retired buffers so steady-state transmission is alloc-free.
+func (m *Medium) interfBuf(n int) []float64 {
+	if k := len(m.interfFree); k > 0 {
+		b := m.interfFree[k-1]
+		m.interfFree = m.interfFree[:k-1]
+		if cap(b) >= n {
+			b = b[:n]
+			for i := range b {
+				b[i] = 0
+			}
+			return b
+		}
+	}
+	return make([]float64, n)
+}
+
+// transmitSpatial is the spatial-regime half of Transmit: it accrues
+// interference maxima on every overlapping transmission, marks coupled
+// collisions, registers the transmission, and re-evaluates per-radio
+// carrier state. It draws no randomness.
+func (m *Medium) transmitSpatial(tx *Transmission, now sim.Time) {
+	m.ensureSpatial()
+	nR := len(m.radios)
+	si := m.radioIdx[tx.Source]
+	tx.srcIdx = si
+	tx.interfMax = m.interfBuf(nR)
+	row := m.powerMW[si]
+	if len(m.active) == 0 {
+		m.lastBusyStart = now
+	}
+	// Sensed-energy bookkeeping: the new transmission's power lands at
+	// every radio. A fresh busy period copies rather than accumulates,
+	// which also discards any float drift from the previous period.
+	if len(m.activeList) == 0 {
+		copy(m.senseMW, row)
+	} else {
+		for j := 0; j < nR; j++ {
+			m.senseMW[j] += row[j]
+		}
+	}
+	// A transmission ending exactly now does not overlap (its finish
+	// event may simply not have run yet at this instant).
+	nOverlap := 0
+	for _, o := range m.activeList {
+		if o.End > now {
+			nOverlap++
+		}
+	}
+	if nOverlap > 0 {
+		// Total received power at each radio with the new transmission
+		// on the air.
+		S := m.scratchSum
+		copy(S, row)
+		for _, o := range m.activeList {
+			if o.End <= now {
+				continue
+			}
+			orow := m.powerMW[o.srcIdx]
+			for j := 0; j < nR; j++ {
+				S[j] += orow[j]
+			}
+		}
+		for _, o := range m.activeList {
+			if o.End <= now {
+				continue
+			}
+			oi := o.srcIdx
+			orow := m.powerMW[oi]
+			// Worst-instant aggregate interference for the ongoing
+			// transmission at every receiver. +Inf entries (half-duplex)
+			// are sticky: no finite max can overwrite them.
+			for j := 0; j < nR; j++ {
+				if j == oi {
+					continue
+				}
+				if v := S[j] - orow[j]; v > o.interfMax[j] {
+					o.interfMax[j] = v
+				}
+			}
+			// Half-duplex: a radio transmitting during any part of a
+			// frame can never decode that frame.
+			o.interfMax[si] = math.Inf(1)
+			tx.interfMax[oi] = math.Inf(1)
+			// The pair is a coupled collision — traced and counted —
+			// when the sources hear each other or share any in-range
+			// third receiver. Uncoupled overlaps are mere spatial reuse.
+			coupled := row[oi] >= m.floorMW
+			if !coupled {
+				for j := 0; j < nR; j++ {
+					if j == si || j == oi {
+						continue
+					}
+					if row[j] >= m.floorMW && orow[j] >= m.floorMW {
+						coupled = true
+						break
+					}
+				}
+			}
+			if coupled {
+				if m.Tracer != nil {
+					m.Tracer.Collision(now, tx.ID, o.ID)
+				}
+				if !tx.collided {
+					tx.collided = true
+					m.CollidedTx++
+				}
+				if !o.collided {
+					o.collided = true
+					m.CollidedTx++
+				}
+			}
+		}
+		for j := 0; j < nR; j++ {
+			if j == si {
+				continue
+			}
+			if v := S[j] - row[j]; v > tx.interfMax[j] {
+				tx.interfMax[j] = v
+			}
+		}
+	}
+	m.txOwn[si]++
+	m.active[tx] = struct{}{}
+	m.activeList = append(m.activeList, tx)
+	m.updateCarrierSpatial()
+}
+
+// finishSpatial is the spatial-regime half of finish: per-receiver
+// decode decisions from the accrued interference maxima, deliveries in
+// attach order, then carrier re-evaluation strictly after deliveries.
+func (m *Medium) finishSpatial(tx *Transmission) {
+	now := m.sched.Now()
+	delete(m.active, tx)
+	for i, o := range m.activeList {
+		if o == tx {
+			m.activeList = append(m.activeList[:i], m.activeList[i+1:]...)
+			break
+		}
+	}
+	m.ensureSpatial()
+	si := tx.srcIdx
+	m.txOwn[si]--
+	if len(m.active) == 0 {
+		m.AirtimeBusy += now - m.lastBusyStart
+	}
+	g := m.Geometry
+	row := m.powerMW[si]
+	// The departing transmission's power leaves the air; a fully idle
+	// medium resets the sums exactly, bounding float drift to one busy
+	// period.
+	if len(m.activeList) == 0 {
+		for j := range m.senseMW {
+			m.senseMW[j] = 0
+		}
+	} else {
+		for j := range m.senseMW {
+			m.senseMW[j] -= row[j]
+		}
+	}
+	thr := SINRThresholdDB(tx.Rate) + g.CaptureMarginDB
+	out := m.scratchOut
+	for j := range out {
+		out[j] = rxNone
+		if j == si {
+			continue
+		}
+		rp := row[j]
+		if rp < m.floorMW {
+			continue
+		}
+		iv := 0.0
+		if j < len(tx.interfMax) {
+			iv = tx.interfMax[j]
+		}
+		switch {
+		case iv == 0:
+			// Never overlapped at this receiver: decodes; noise
+			// corruption is drawn separately via Corrupted.
+			out[j] = RxOK
+		case math.IsInf(iv, 1):
+			out[j] = RxCollided
+		default:
+			if 10*math.Log10(rp/(m.noiseMW+iv)) >= thr {
+				out[j] = RxOK
+			} else {
+				out[j] = RxCollided
+			}
+		}
+		if out[j] == RxCollided && !tx.collided {
+			tx.collided = true
+			m.CollidedTx++
+		}
+	}
+	if m.Tracer != nil {
+		m.Tracer.TxEnd(now, tx.ID, tx.collided)
+	}
+	for j, r := range m.radios {
+		if j < len(out) && out[j] != rxNone {
+			r.EndRx(tx, out[j])
+		}
+	}
+	m.interfFree = append(m.interfFree, tx.interfMax)
+	tx.interfMax = nil
+	// Carrier re-evaluation strictly after deliveries: receivers see
+	// the frame before timers that an idle transition may restart.
+	m.updateCarrierSpatial()
+}
+
+// updateCarrierSpatial re-reads each radio's sensed-energy state (the
+// senseMW sums maintained by transmitSpatial/finishSpatial) and emits
+// CarrierBusy/CarrierIdle edges for radios whose state changed, in
+// attach order. A radio is busy while it is transmitting or while the
+// summed power of transmissions on the air reaches the carrier-sense
+// threshold. Transmissions past their End but not yet finished still
+// count — they are on the air until their finish event runs, which
+// keeps idle edges strictly after deliveries.
+func (m *Medium) updateCarrierSpatial() {
+	onAir := len(m.activeList) > 0
+	for j, r := range m.radios {
+		busy := m.txOwn[j] > 0 || (onAir && m.senseMW[j] >= m.csMW)
+		if busy != m.senseBusy[j] {
+			m.senseBusy[j] = busy
+			if busy {
+				r.CarrierBusy()
+			} else {
+				r.CarrierIdle()
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"tcphack/internal/campaign"
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/results"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// SpatialRow is one cell of the spatial-density grid: a deployment of
+// APs many co-channel BSSs, ClientsPerBSS stations each, under Mode.
+type SpatialRow struct {
+	// APs is the number of overlapping BSSs on the channel.
+	APs int
+	// ClientsPerBSS is the station count in each BSS.
+	ClientsPerBSS int
+	// Mode names the HACK mode ("off", "more-data", ...).
+	Mode string
+	// AggregateMbps is the mean TCP goodput summed over every client
+	// in every BSS.
+	AggregateMbps float64
+	// StdDev is the seed-to-seed standard deviation of AggregateMbps.
+	StdDev float64
+	// Efficiency is the useful share of busy airtime (AirtimeLedger:
+	// data time over all attributed time).
+	Efficiency float64
+	// Collisions is the mean collided-transmission count.
+	Collisions float64
+	// GainOverTCPPct is AggregateMbps's gain over the same cell with
+	// HACK off (0 for the off rows themselves).
+	GainOverTCPPct float64
+}
+
+// SpatialGrid runs the AP-density × station-density × mode experiment:
+// 1..N overlapping BSSs 30 m apart on the spatial PHY (inside mutual
+// carrier-sense range, so cells contend rather than collide), each
+// with the same client count, HACK off vs MORE-DATA. It measures how
+// HACK's ACK-compression gain holds up as co-channel contention grows
+// — more contenders mean more airtime recovered per suppressed TCP
+// ACK, but also more collision loss for HACK's compressed payloads to
+// ride through. nil axes default to apCounts {1,2,3} and
+// clientCounts {1,2}.
+func SpatialGrid(o Options, apCounts, clientCounts []int) []SpatialRow {
+	o = o.withDefaults()
+	if apCounts == nil {
+		apCounts = []int{1, 2, 3}
+	}
+	if clientCounts == nil {
+		clientCounts = []int{1, 2}
+	}
+	var rows []SpatialRow
+	for _, aps := range apCounts {
+		specs := make([]node.BSSSpec, aps)
+		for i := range specs {
+			specs[i] = node.BSSSpec{APPos: channel.Pos{X: 30 * float64(i)}}
+		}
+		base := ht150Base(hack.ModeOff)
+		scenario.WithPathLoss()(&base)
+		scenario.WithBSSLayout(specs...)(&base)
+
+		spec := o.spec("spatial-grid", base)
+		spec.Axes = campaign.Axes{
+			Modes:   []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+			Clients: clientCounts,
+			Seeds:   campaign.Seeds(o.Seed, o.Runs),
+		}
+		spec.Airtime = true
+		spec.Workload = func(n *node.Network, pt campaign.Point) {
+			for ci := 0; ci < len(n.Clients); ci++ {
+				n.StartDownload(ci, 0, sim.Duration(ci)*50*sim.Millisecond)
+			}
+		}
+		agg, err := results.FromResults(campaign.Run(spec)).Aggregate("mode", "clients")
+		if err != nil {
+			panic(err) // static group-by columns
+		}
+		for _, clients := range clientCounts {
+			ck := results.Num(float64(clients))
+			off, _ := agg.StatAt("aggregate_mbps", "off", ck)
+			for _, mode := range []hack.Mode{hack.ModeOff, hack.ModeMoreData} {
+				st, ok := agg.StatAt("aggregate_mbps", mode.String(), ck)
+				if !ok {
+					continue
+				}
+				row := SpatialRow{
+					APs: aps, ClientsPerBSS: clients, Mode: mode.String(),
+					AggregateMbps: st.Mean, StdDev: st.StdDev,
+					Efficiency: agg.MeanAt("extra.airtime_efficiency", mode.String(), ck),
+					Collisions: agg.MeanAt("collisions", mode.String(), ck),
+				}
+				if mode != hack.ModeOff && off.Mean > 0 {
+					row.GainOverTCPPct = (st.Mean - off.Mean) / off.Mean * 100
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}

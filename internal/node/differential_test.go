@@ -1,0 +1,115 @@
+// Differential geometry harness: the scalar channel (the engine's
+// original medium) is the oracle for the spatial PHY pinned to the
+// degenerate geometry — every radio senses everything, every frame
+// reaches everyone, any overlap collides. Driven from the same ht150
+// network workload as the scheduler differential suite, the two
+// regimes must produce identical event-time traces, and a campaign
+// sweep over the degenerate geometry must emit byte-identical result
+// rows. Any divergence is a spatial-engine semantics bug.
+package node_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tcphack/internal/campaign"
+	"tcphack/internal/channel"
+	"tcphack/internal/hack"
+	"tcphack/internal/node"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// geometryTrace runs the ht150 network (aggregated 802.11n, HACK
+// MORE-DATA, 3 TCP downloads) on the given channel regime and records
+// the virtual time of every executed event.
+func geometryTrace(geom *channel.Geometry, loss float64, maxEvents int) ([]sim.Time, uint64) {
+	opts := []scenario.Option{
+		scenario.With80211n(),
+		scenario.WithClients(3),
+		scenario.WithMode(hack.ModeMoreData),
+	}
+	if loss > 0 {
+		opts = append(opts, scenario.WithUniformLoss(loss))
+	}
+	cfg := scenario.New(opts...)
+	cfg.Geometry = geom
+	n := node.New(cfg)
+	for ci := 0; ci < 3; ci++ {
+		n.StartDownload(ci, 0, sim.Duration(ci)*sim.Millisecond)
+	}
+	trace := make([]sim.Time, 0, maxEvents)
+	for len(trace) < maxEvents && n.Sched.Step() {
+		trace = append(trace, n.Sched.Now())
+	}
+	return trace, n.Sched.EventsFired()
+}
+
+// TestDifferentialGeometryTrace requires the spatial engine under the
+// degenerate geometry to replay the scalar channel's event trace
+// exactly, lossless and at 5% uniform loss. Loss exercises the RNG
+// path: the spatial regime must draw exactly the same random numbers
+// at the same points, or retry timers shift and the traces diverge.
+func TestDifferentialGeometryTrace(t *testing.T) {
+	const maxEvents = 200_000
+	for _, tc := range []struct {
+		name string
+		loss float64
+	}{{"lossless", 0}, {"loss5pct", 0.05}} {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar, scalarFired := geometryTrace(nil, tc.loss, maxEvents)
+			spatial, spatialFired := geometryTrace(channel.DegenerateGeometry(), tc.loss, maxEvents)
+			if len(scalar) != len(spatial) {
+				t.Fatalf("trace length: scalar %d, spatial %d", len(scalar), len(spatial))
+			}
+			if len(scalar) < maxEvents/2 {
+				t.Fatalf("degenerate trace: only %d events", len(scalar))
+			}
+			for i := range scalar {
+				if scalar[i] != spatial[i] {
+					t.Fatalf("trace diverges at event %d: scalar %v, spatial %v",
+						i, scalar[i], spatial[i])
+				}
+			}
+			if scalarFired != spatialFired {
+				t.Fatalf("events fired: scalar %d, spatial %d", scalarFired, spatialFired)
+			}
+		})
+	}
+}
+
+// TestDifferentialCampaignRows runs one small sweep twice — scalar
+// base vs the same base pinned to the degenerate geometry — and
+// requires the emitted JSON result rows to be byte-identical: every
+// metric, counter, and airtime bucket, across modes, seeds, and a
+// lossy point.
+func TestDifferentialCampaignRows(t *testing.T) {
+	spec := func(geom *channel.Geometry) campaign.Spec {
+		cfg := scenario.New(scenario.With80211n(), scenario.WithClients(2))
+		cfg.Geometry = geom
+		return campaign.Spec{
+			Name: "differential",
+			Base: cfg,
+			Axes: campaign.Axes{
+				Modes: []hack.Mode{hack.ModeOff, hack.ModeMoreData},
+				Seeds: campaign.Seeds(1, 2),
+				Loss:  []float64{0, 0.05},
+			},
+			Warmup:  100 * sim.Millisecond,
+			Measure: 200 * sim.Millisecond,
+			Workers: 2,
+			Airtime: true,
+		}
+	}
+	var scalar, spatial bytes.Buffer
+	if err := campaign.Run(spec(nil)).WriteJSON(&scalar); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.Run(spec(channel.DegenerateGeometry())).WriteJSON(&spatial); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scalar.Bytes(), spatial.Bytes()) {
+		t.Errorf("campaign rows diverge between scalar and degenerate-spatial runs:\n--- scalar ---\n%s\n--- spatial ---\n%s",
+			scalar.String(), spatial.String())
+	}
+}

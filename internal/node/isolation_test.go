@@ -1,0 +1,111 @@
+// Inter-BSS isolation regression: two overlapping BSSs share one
+// medium, so every radio hears the other cell's frames promiscuously.
+// Addressing must keep the cells logically disjoint — globally unique
+// MAC addresses, per-BSS AP IPs, own-BSS-only bridging — or Block ACK
+// sessions and ROHC decompressor contexts cross-poison between cells.
+package node_test
+
+import (
+	"testing"
+
+	"tcphack/internal/channel"
+	"tcphack/internal/node"
+	"tcphack/internal/scenario"
+	"tcphack/internal/sim"
+)
+
+// twoBSSNetwork builds two 2-client BSSs whose APs sit 10 m apart on
+// the spatial PHY: close enough that every station senses and hears
+// every other, the worst case for cross-BSS confusion.
+func twoBSSNetwork(t *testing.T) *node.Network {
+	t.Helper()
+	cfg := scenario.New(
+		scenario.With80211n(),
+		scenario.WithClients(2),
+		scenario.WithPathLoss(),
+		scenario.WithBSSLayout(
+			node.BSSSpec{APPos: channel.Pos{}},
+			node.BSSSpec{APPos: channel.Pos{X: 10}},
+		),
+	)
+	return node.New(cfg)
+}
+
+func TestInterBSSIsolation(t *testing.T) {
+	n := twoBSSNetwork(t)
+	if len(n.BSSes) != 2 {
+		t.Fatalf("built %d BSSs, want 2", len(n.BSSes))
+	}
+	if len(n.Clients) != 4 {
+		t.Fatalf("built %d clients, want 2 per BSS", len(n.Clients))
+	}
+
+	// Globally unique MAC addresses across both cells.
+	seen := map[uint16]string{}
+	check := func(addr uint16, who string) {
+		if prev, dup := seen[addr]; dup {
+			t.Errorf("MAC %d assigned to both %s and %s", addr, prev, who)
+		}
+		seen[addr] = who
+	}
+	for bi, b := range n.BSSes {
+		check(uint16(b.AP.MACAddr), "AP"+string(rune('0'+bi)))
+		for ci, c := range b.Clients {
+			check(uint16(c.MACAddr), "client"+string(rune('0'+bi))+string(rune('0'+ci)))
+		}
+	}
+	// Per-BSS AP IPs stay distinct.
+	if n.BSSes[0].AP.IP == n.BSSes[1].AP.IP {
+		t.Errorf("both APs share IP %v", n.BSSes[0].AP.IP)
+	}
+	// Address→BSS attribution covers every station.
+	for bi, b := range n.BSSes {
+		if got := n.BSSOfAddr(b.AP.MACAddr); got != bi {
+			t.Errorf("BSSOfAddr(AP%d) = %d", bi, got)
+		}
+		for _, c := range b.Clients {
+			if got := n.BSSOfAddr(c.MACAddr); got != bi {
+				t.Errorf("BSSOfAddr(client %d) = %d, want %d", c.MACAddr, got, bi)
+			}
+		}
+	}
+
+	// Both cells carry concurrent TCP downloads to completion with HACK
+	// compression active. Cross-poisoned ROHC contexts would surface as
+	// decompression failures; cross-keyed BA sessions as stalled flows.
+	for ci := range n.Clients {
+		n.StartDownload(ci, 0, sim.Duration(ci)*10*sim.Millisecond)
+	}
+	n.Run(2 * sim.Second)
+	now := n.Sched.Now()
+	for ci, c := range n.Clients {
+		if mbps := c.Goodput.Mbps(now); mbps < 1 {
+			t.Errorf("client %d goodput %.2f Mbps — flow starved", ci, mbps)
+		}
+	}
+	if df := n.DecompFailures(); df != 0 {
+		t.Errorf("DecompFailures = %d, want 0 (ROHC contexts cross-poisoned?)", df)
+	}
+}
+
+// TestSingleBSSLegacyShape pins the degenerate multi-BSS plan: with no
+// BSS layout configured, the network is exactly the legacy single-AP
+// star — BSS 0 wraps the same AP and client set the old fields expose.
+func TestSingleBSSLegacyShape(t *testing.T) {
+	n := node.New(scenario.New(scenario.With80211n(), scenario.WithClients(3)))
+	if len(n.BSSes) != 1 {
+		t.Fatalf("built %d BSSs, want 1", len(n.BSSes))
+	}
+	if n.BSSes[0].AP != n.AP {
+		t.Error("BSS 0 AP is not Network.AP")
+	}
+	if len(n.BSSes[0].Clients) != len(n.Clients) {
+		t.Errorf("BSS 0 has %d clients, network %d", len(n.BSSes[0].Clients), len(n.Clients))
+	}
+	if got := n.BSSOfAddr(n.AP.MACAddr); got != 0 {
+		t.Errorf("BSSOfAddr(AP) = %d", got)
+	}
+	if got := n.BSSOfAddr(9999); got != -1 {
+		t.Errorf("BSSOfAddr(unknown) = %d, want -1", got)
+	}
+}

@@ -1,7 +1,7 @@
 // Package node composes the full simulated network the paper
-// evaluates: WiFi stations (clients and an access point) that stack a
-// host TCP/IP implementation, a HACK driver, and an 802.11 MAC; a
-// wired backhaul link; and a wired server. It provides the flow
+// evaluates: WiFi stations (clients and access points) that stack a
+// host TCP/IP implementation, a HACK driver, and an 802.11 MAC; wired
+// backhaul links; and a wired server. It provides the flow
 // orchestration (staggered TCP downloads/uploads, saturating UDP) that
 // the experiment runners parameterize.
 //
@@ -12,6 +12,14 @@
 // For the SoRa testbed experiments (§4.1) the AP itself hosts the TCP
 // sender (the testbed ran iperf between SoRa nodes in ad-hoc mode), so
 // the wire is unused.
+//
+// Config.BSSs generalizes the topology to multiple overlapping BSSs —
+// each its own AP (with its own backhaul to the shared server) plus
+// client set, all contending on one channel.Medium — for the spatial
+// PHY scenarios (Config.Geometry). MAC addresses are globally unique
+// across BSSs and each AP bridges over WiFi only to its own clients,
+// so block-ack sessions and ROHC contexts can never cross BSSs. With
+// one BSS the assembly is bit-identical to the pre-spatial builds.
 package node
 
 import (
@@ -63,6 +71,17 @@ type Config struct {
 	Clients   int
 	ClientPos func(i int) channel.Pos // default: circle of radius 10 m
 	Err       channel.ErrorModel      // default: lossless
+	// APPos places the (first) AP; the default origin matches the
+	// paper's star topology.
+	APPos channel.Pos
+	// BSSs, when non-empty, replaces the single-BSS topology: one
+	// entry per BSS, all sharing the medium. Empty means one implicit
+	// BSS built from APPos/Clients/ClientPos (the legacy layout).
+	BSSs []BSSSpec
+	// Geometry, when non-nil, switches the shared medium to the
+	// spatial PHY (per-pair path loss, per-receiver carrier sense,
+	// SINR capture). Nil keeps the scalar collision-domain channel.
+	Geometry *channel.Geometry
 
 	// Queues: the paper sizes the AP transmit queue at 126 packets per
 	// flow ("three batches of 42").
@@ -107,9 +126,26 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClientPos == nil {
 		n := c.Clients
+		ap := c.APPos
 		c.ClientPos = func(i int) channel.Pos {
 			angle := 2 * math.Pi * float64(i) / float64(n)
-			return channel.Pos{X: 10 * math.Cos(angle), Y: 10 * math.Sin(angle)}
+			return channel.Pos{X: ap.X + 10*math.Cos(angle), Y: ap.Y + 10*math.Sin(angle)}
+		}
+	}
+	if len(c.BSSs) == 0 {
+		c.BSSs = []BSSSpec{{APPos: c.APPos, Clients: c.Clients, ClientPos: c.ClientPos}}
+	}
+	for bi := range c.BSSs {
+		if c.BSSs[bi].Clients == 0 {
+			c.BSSs[bi].Clients = c.Clients
+		}
+		if c.BSSs[bi].ClientPos == nil {
+			k := c.BSSs[bi].Clients
+			ap := c.BSSs[bi].APPos
+			c.BSSs[bi].ClientPos = func(i int) channel.Pos {
+				angle := 2 * math.Pi * float64(i) / float64(k)
+				return channel.Pos{X: ap.X + 10*math.Cos(angle), Y: ap.Y + 10*math.Sin(angle)}
+			}
 		}
 	}
 	if c.APQueueLimit == 0 {
@@ -141,7 +177,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Addressing plan.
+// BSSSpec describes one BSS of a multi-BSS topology: an AP position
+// plus its client set. Zero Clients inherits Config.Clients (so a
+// campaign's clients axis scales every BSS together); nil ClientPos
+// defaults to a 10 m circle around the AP.
+type BSSSpec struct {
+	// APPos places the BSS's access point.
+	APPos channel.Pos
+	// Clients is the number of client stations (0 inherits
+	// Config.Clients).
+	Clients int
+	// ClientPos places client i of this BSS (nil: 10 m circle around
+	// APPos).
+	ClientPos func(i int) channel.Pos
+}
+
+// BSS is one assembled BSS: its AP, its clients (also present in
+// Network.Clients), and its backhaul links to the shared server.
+type BSS struct {
+	// Index is the BSS's position in Network.BSSes.
+	Index int
+	// AP is the BSS's access point.
+	AP *WifiNode
+	// Clients are the BSS's client nodes, in global-index order.
+	Clients        []*WifiNode
+	wireUp, wireDn *Link // up: AP→server, dn: server→AP
+}
+
+// Addressing plan. MAC addresses are assigned sequentially in
+// construction order (BSS 0's AP, its clients, BSS 1's AP, …), so
+// with a single BSS the AP is addr 1 and clients start at 2 — the
+// historical constants below.
 const (
 	apMAC    = mac.Addr(1)
 	baseMAC  = mac.Addr(2)
@@ -154,6 +220,10 @@ var (
 )
 
 func clientIP(i int) packet.Addr { return packet.IP(192, 168, 0, byte(10+i)) }
+
+// bssAPIP returns the AP address for BSS b: 192.168.b.1, so BSS 0
+// keeps the historical apIP.
+func bssAPIP(b int) packet.Addr { return packet.IP(192, 168, byte(b), 1) }
 
 // Link is a full-duplex point-to-point wired link (one Link per
 // direction): fixed rate, fixed propagation delay, FIFO serialization.
@@ -192,6 +262,8 @@ func (l *Link) Send(p *packet.Packet) {
 // WifiNode is a WiFi station with a host stack and HACK driver.
 type WifiNode struct {
 	net     *Network
+	bss     *BSS
+	isAP    bool
 	MAC     *mac.Station
 	Driver  *hack.Driver
 	IP      packet.Addr
@@ -210,15 +282,22 @@ type WifiNode struct {
 
 // Network is the assembled simulation.
 type Network struct {
-	Cfg     Config
-	Sched   *sim.Scheduler
-	Medium  *channel.Medium
-	AP      *WifiNode
+	Cfg    Config
+	Sched  *sim.Scheduler
+	Medium *channel.Medium
+	// AP is BSS 0's access point (every network has at least one BSS).
+	AP *WifiNode
+	// Clients holds every client of every BSS in global-index order
+	// (BSS 0's clients first).
 	Clients []*WifiNode
+	// BSSes lists the assembled BSSs; a legacy single-BSS network has
+	// exactly one.
+	BSSes []*BSS
 	// Server endpoints/state (nil when WireRateKbps == 0).
 	serverEndpoints map[packet.FiveTuple]*tcp.Endpoint
-	wireUp, wireDn  *Link // up: AP→server, dn: server→AP
 	clientIdx       map[packet.Addr]int
+	clientBSS       []int // global client index → BSS index
+	addrBSS         map[mac.Addr]int
 
 	Flows []*Flow
 
@@ -242,16 +321,42 @@ func New(cfg Config) *Network {
 	sched := sim.NewSchedulerBackend(cfg.Seed, cfg.SchedulerBackend)
 	medium := channel.New(sched, cfg.Err)
 	medium.Tracer = cfg.Tracer
+	medium.Geometry = cfg.Geometry
 	n := &Network{
 		Cfg:             cfg,
 		Sched:           sched,
 		Medium:          medium,
 		serverEndpoints: make(map[packet.FiveTuple]*tcp.Endpoint),
-		clientIdx:       make(map[packet.Addr]int, cfg.Clients),
+		clientIdx:       make(map[packet.Addr]int),
+		addrBSS:         make(map[mac.Addr]int),
 		nextPort:        basePort,
 	}
-	for i := 0; i < cfg.Clients; i++ {
-		n.clientIdx[clientIP(i)] = i
+
+	// Address/position plan: MAC addresses assigned sequentially in
+	// construction order, client IPs numbered globally. Planned up
+	// front so rate adapters can resolve any peer's position.
+	type bssPlan struct {
+		apAddr  mac.Addr
+		clients []mac.Addr
+	}
+	plans := make([]bssPlan, len(cfg.BSSs))
+	positions := make(map[mac.Addr]channel.Pos)
+	nextMAC := apMAC
+	global := 0
+	for bi, spec := range cfg.BSSs {
+		plans[bi].apAddr = nextMAC
+		positions[nextMAC] = spec.APPos
+		n.addrBSS[nextMAC] = bi
+		nextMAC++
+		for i := 0; i < spec.Clients; i++ {
+			plans[bi].clients = append(plans[bi].clients, nextMAC)
+			positions[nextMAC] = spec.ClientPos(i)
+			n.addrBSS[nextMAC] = bi
+			n.clientIdx[clientIP(global)] = global
+			n.clientBSS = append(n.clientBSS, bi)
+			nextMAC++
+			global++
+		}
 	}
 
 	payloadAllowance := 0
@@ -268,12 +373,7 @@ func New(cfg Config) *Network {
 	if err != nil {
 		panic(fmt.Sprintf("node: %v", err))
 	}
-	posOf := func(a mac.Addr) channel.Pos {
-		if a == apMAC {
-			return channel.Pos{}
-		}
-		return cfg.ClientPos(int(a - baseMAC))
-	}
+	posOf := func(a mac.Addr) channel.Pos { return positions[a] }
 	snrModel := channel.FindSNRModel(cfg.Err)
 	// newAdapter builds one per-station adapter instance. Minstrel
 	// forks its probe-schedule RNG off the network scheduler (like the
@@ -333,17 +433,32 @@ func New(cfg Config) *Network {
 		})
 	}
 
-	n.AP = n.newNode(mkStation(apMAC, channel.Pos{}, cfg.APQueueLimit), apIP, apMAC)
-	for i := 0; i < cfg.Clients; i++ {
-		st := mkStation(baseMAC+mac.Addr(i), cfg.ClientPos(i), cfg.ClientQueueLimit)
-		n.Clients = append(n.Clients, n.newNode(st, clientIP(i), baseMAC+mac.Addr(i)))
+	global = 0
+	for bi, spec := range cfg.BSSs {
+		b := &BSS{Index: bi}
+		ap := n.newNode(mkStation(plans[bi].apAddr, spec.APPos, cfg.APQueueLimit), bssAPIP(bi), plans[bi].apAddr)
+		ap.bss, ap.isAP = b, true
+		b.AP = ap
+		for i, addr := range plans[bi].clients {
+			st := mkStation(addr, spec.ClientPos(i), cfg.ClientQueueLimit)
+			c := n.newNode(st, clientIP(global), addr)
+			c.bss = b
+			b.Clients = append(b.Clients, c)
+			n.Clients = append(n.Clients, c)
+			global++
+		}
+		n.BSSes = append(n.BSSes, b)
 	}
+	n.AP = n.BSSes[0].AP
 
 	if cfg.WireRateKbps > 0 {
-		n.wireUp = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
-		n.wireDn = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
-		n.wireUp.Deliver = n.serverInput
-		n.wireDn.Deliver = n.apFromWire
+		for _, b := range n.BSSes {
+			b := b
+			b.wireUp = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
+			b.wireDn = NewLink(sched, cfg.WireRateKbps, cfg.WireDelay)
+			b.wireUp.Deliver = n.serverInput
+			b.wireDn.Deliver = func(p *packet.Packet) { b.AP.route(p) }
+		}
 	}
 	return n
 }
@@ -429,16 +544,19 @@ func (w *WifiNode) route(p *packet.Packet) {
 	switch {
 	case dst == w.IP:
 		w.localInput(p)
-	case w.MACAddr == apMAC:
-		// AP: toward a client over WiFi, or upstream over the wire.
-		if ci, ok := w.net.clientByIP(dst); ok {
+	case w.isAP:
+		// AP: toward one of its own clients over WiFi, or upstream over
+		// its wire. Clients of other BSSs are never bridged over WiFi —
+		// that confinement (plus globally unique MAC addresses) is what
+		// keeps block-ack sessions and ROHC contexts BSS-local.
+		if ci, ok := w.net.clientByIP(dst); ok && w.net.clientBSS[ci] == w.bss.Index {
 			w.sendWifi(w.net.Clients[ci].MACAddr, p)
-		} else if w.net.wireUp != nil {
-			w.net.wireUp.Send(p)
+		} else if w.bss.wireUp != nil {
+			w.bss.wireUp.Send(p)
 		}
 	default:
-		// Clients reach everything via the AP.
-		w.sendWifi(apMAC, p)
+		// Clients reach everything via their own AP.
+		w.sendWifi(w.bss.AP.MACAddr, p)
 	}
 }
 
@@ -457,9 +575,17 @@ func (n *Network) clientByIP(ip packet.Addr) (int, bool) {
 	return ci, ok
 }
 
-// apFromWire handles a packet arriving at the AP from the server.
-func (n *Network) apFromWire(p *packet.Packet) {
-	n.AP.route(p)
+// bssOf returns the BSS owning global client index ci.
+func (n *Network) bssOf(ci int) *BSS { return n.BSSes[n.clientBSS[ci]] }
+
+// BSSOfAddr maps a station MAC address to its BSS index, or -1 for an
+// unknown address. Campaign collectors use it to attribute per-station
+// airtime to BSSs.
+func (n *Network) BSSOfAddr(a mac.Addr) int {
+	if bi, ok := n.addrBSS[a]; ok {
+		return bi
+	}
+	return -1
 }
 
 // serverInput demultiplexes a packet arriving at the server.
@@ -484,9 +610,10 @@ func (n *Network) allocPort() uint16 {
 // on the server when the wire exists, else on the AP (SoRa topology).
 func (n *Network) StartDownload(ci int, totalBytes uint64, startAt sim.Duration) *Flow {
 	port := n.allocPort()
+	bss := n.bssOf(ci)
 	senderIP := serverIP
-	if n.wireDn == nil {
-		senderIP = apIP
+	if bss.wireDn == nil {
+		senderIP = bss.AP.IP
 	}
 	scfg := n.Cfg.TCPConfig
 	scfg.Local, scfg.LocalPort = senderIP, port
@@ -504,9 +631,10 @@ func (n *Network) StartDownload(ci int, totalBytes uint64, startAt sim.Duration)
 // StartUpload starts a TCP transfer of totalBytes from client ci.
 func (n *Network) StartUpload(ci int, totalBytes uint64, startAt sim.Duration) *Flow {
 	port := n.allocPort()
+	bss := n.bssOf(ci)
 	peerIP := serverIP
-	if n.wireUp == nil {
-		peerIP = apIP
+	if bss.wireUp == nil {
+		peerIP = bss.AP.IP
 	}
 	scfg := n.Cfg.TCPConfig
 	scfg.Local, scfg.LocalPort = clientIP(ci), port
@@ -524,6 +652,7 @@ func (n *Network) StartUpload(ci int, totalBytes uint64, startAt sim.Duration) *
 // finishFlow wires endpoints into their hosts and schedules the start.
 func (n *Network) finishFlow(f *Flow, ci int, sender, receiver *tcp.Endpoint, totalBytes uint64, startAt sim.Duration, upload bool) *Flow {
 	client := n.Clients[ci]
+	bss := n.bssOf(ci)
 
 	bindWifi := func(w *WifiNode, ep *tcp.Endpoint) {
 		w.endpoints[ep.Tuple()] = ep
@@ -531,20 +660,20 @@ func (n *Network) finishFlow(f *Flow, ci int, sender, receiver *tcp.Endpoint, to
 	}
 	bindServer := func(ep *tcp.Endpoint) {
 		n.serverEndpoints[ep.Tuple()] = ep
-		ep.Output = func(p *packet.Packet) { n.wireDn.Send(p) }
+		ep.Output = func(p *packet.Packet) { bss.wireDn.Send(p) }
 	}
 
-	wifiPeer := n.AP // AP-resident endpoint when no wire
+	wifiPeer := bss.AP // AP-resident endpoint when no wire
 	if upload {
 		bindWifi(client, sender)
-		if n.wireUp != nil {
+		if bss.wireUp != nil {
 			bindServer(receiver)
 		} else {
 			bindWifi(wifiPeer, receiver)
 		}
 	} else {
 		bindWifi(client, receiver)
-		if n.wireDn != nil {
+		if bss.wireDn != nil {
 			bindServer(sender)
 		} else {
 			bindWifi(wifiPeer, sender)
@@ -579,9 +708,10 @@ func (n *Network) finishFlow(f *Flow, ci int, sender, receiver *tcp.Endpoint, to
 // bytes accumulate in the client's Goodput.
 func (n *Network) StartUDPDownload(ci int, rateKbps int, pktLen int, startAt sim.Duration) {
 	dst := clientIP(ci)
+	bss := n.bssOf(ci)
 	srcIP := serverIP
-	if n.wireDn == nil {
-		srcIP = apIP
+	if bss.wireDn == nil {
+		srcIP = bss.AP.IP
 	}
 	interval := sim.Duration(int64(pktLen) * 8 * int64(sim.Second) / (int64(rateKbps) * 1000))
 	var ipID uint16
@@ -593,10 +723,10 @@ func (n *Network) StartUDPDownload(ci int, rateKbps int, pktLen int, startAt sim
 			UDP:        &packet.UDP{SrcPort: 9, DstPort: 9},
 			PayloadLen: pktLen - packet.IPv4HeaderLen - packet.UDPHeaderLen,
 		}
-		if n.wireDn != nil {
-			n.wireDn.Send(p)
+		if bss.wireDn != nil {
+			bss.wireDn.Send(p)
 		} else {
-			n.AP.route(p)
+			bss.AP.route(p)
 		}
 		n.Sched.PostAfter(interval, tick, nil)
 	}
@@ -623,7 +753,7 @@ func (n *Network) APMinstrelStats(ci int) []mac.RateStats {
 	if ci < 0 || ci >= len(n.Clients) {
 		return nil
 	}
-	if m := minstrelOf(n.AP.MAC); m != nil {
+	if m := minstrelOf(n.bssOf(ci).AP.MAC); m != nil {
 		return m.Snapshot(n.Clients[ci].MACAddr)
 	}
 	return nil
@@ -637,7 +767,7 @@ func (n *Network) ClientMinstrelStats(ci int) []mac.RateStats {
 		return nil
 	}
 	if m := minstrelOf(n.Clients[ci].MAC); m != nil {
-		return m.Snapshot(apMAC)
+		return m.Snapshot(n.bssOf(ci).AP.MACAddr)
 	}
 	return nil
 }
@@ -645,7 +775,10 @@ func (n *Network) ClientMinstrelStats(ci int) []mac.RateStats {
 // DecompFailures totals ROHC decompression failures across all nodes —
 // the paper's §4.3 health check (must be zero).
 func (n *Network) DecompFailures() uint64 {
-	total := n.AP.Driver.DecompFailures
+	var total uint64
+	for _, b := range n.BSSes {
+		total += b.AP.Driver.DecompFailures
+	}
 	for _, c := range n.Clients {
 		total += c.Driver.DecompFailures
 	}

@@ -51,9 +51,22 @@ func (t *Table) Fingerprint() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "campaign=%s\n", t.Campaign)
 	for _, col := range AxisColumns {
-		fmt.Fprintf(h, "%s=%v\n", col, t.axisValues(col))
+		vals := t.axisValues(col)
+		if skipUnsweptAxis(col, vals) {
+			continue
+		}
+		fmt.Fprintf(h, "%s=%v\n", col, vals)
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// skipUnsweptAxis reports whether an axis column is excluded from the
+// fingerprint and shape. The topology axis joined the column set after
+// baselines were first persisted, so when a table never sweeps it
+// (every row carries the empty value) it is left out — keeping
+// pre-existing golden files' fingerprints valid.
+func skipUnsweptAxis(col string, vals []string) bool {
+	return col == "topology" && len(vals) == 1 && vals[0] == ""
 }
 
 // Shape returns the sweep's shape explicitly — each axis column's
@@ -64,7 +77,11 @@ func (t *Table) Fingerprint() string {
 func (t *Table) Shape() map[string][]string {
 	shape := make(map[string][]string, len(AxisColumns))
 	for _, col := range AxisColumns {
-		shape[col] = t.axisValues(col)
+		vals := t.axisValues(col)
+		if skipUnsweptAxis(col, vals) {
+			continue
+		}
+		shape[col] = vals
 	}
 	return shape
 }

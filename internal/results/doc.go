@@ -23,8 +23,8 @@
 //	                                                 Baseline ⇄ JSON
 //
 // A Table holds one row per simulated grid point: the sweep-axis
-// columns (mode, clients, seed, rate_kbps, adapter, loss_pct, snr_db)
-// as canonical strings and every scalar metric as a float64, including
+// columns (mode, clients, seed, rate_kbps, adapter, loss_pct, snr_db,
+// topology) as canonical strings and every scalar metric as a float64, including
 // expanded per-client goodputs ("per_client_mbps.0", …) and campaign
 // Extra metrics ("extra.<name>"). Tables build losslessly from
 // in-memory campaign.Results or from the campaign CSV/JSON emitters'

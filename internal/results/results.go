@@ -16,6 +16,7 @@ import (
 // canonical order. They mirror the campaign emitters' column names.
 var AxisColumns = []string{
 	"mode", "clients", "seed", "rate_kbps", "adapter", "loss_pct", "snr_db",
+	"topology",
 }
 
 // ScalarMetrics are the metric columns every campaign.Result provides.
@@ -69,6 +70,7 @@ func FromResults(rs campaign.Results) *Table {
 				"adapter":   r.Adapter,
 				"loss_pct":  Num(r.LossPct),
 				"snr_db":    Num(r.SNRdB),
+				"topology":  r.Topology,
 			},
 			Metrics: map[string]float64{
 				"aggregate_mbps":   r.AggregateMbps,
@@ -218,7 +220,7 @@ func ReadJSON(r io.Reader) (*Table, error) {
 		row := Row{Axes: map[string]string{}, Metrics: map[string]float64{}}
 		for _, col := range AxisColumns {
 			switch {
-			case col == "mode" || col == "adapter":
+			case col == "mode" || col == "adapter" || col == "topology":
 				row.Axes[col] = str(m, col)
 			default:
 				row.Axes[col] = Num(num(m, col))

@@ -160,6 +160,22 @@ var (
 	WithSNR = scenario.WithSNR
 	// WithTopology places client i at the returned position.
 	WithTopology = scenario.WithTopology
+	// WithGeometry installs a spatial PHY configuration on the medium
+	// (per-pair path loss, per-receiver carrier sense, SINR capture);
+	// nil restores the scalar collision-domain channel.
+	WithGeometry = scenario.WithGeometry
+	// WithPathLoss switches to the spatial PHY with the default
+	// geometry (≈51.5 m sense/delivery range).
+	WithPathLoss = scenario.WithPathLoss
+	// WithCSThreshold sets the spatial PHY's energy-detect
+	// carrier-sense threshold in dBm.
+	WithCSThreshold = scenario.WithCSThreshold
+	// WithPositions pins the AP and every client to explicit
+	// coordinates (metres).
+	WithPositions = scenario.WithPositions
+	// WithBSSLayout replaces the single-BSS star with overlapping BSSs
+	// contending on one medium.
+	WithBSSLayout = scenario.WithBSSLayout
 	// WithWire sets the server—AP wired backhaul.
 	WithWire = scenario.WithWire
 	// WithConfig overlays arbitrary NetworkConfig edits.
@@ -193,6 +209,38 @@ func RegisterScenario(name, desc string, opts ...ScenarioOption) {
 // unknown name) — feed it to NamedCampaignWorkload to start the right
 // flows.
 func ScenarioWorkload(name string) string { return scenario.WorkloadOf(name) }
+
+// Spatial PHY configuration (see the channel package).
+type (
+	// Geometry configures the spatial PHY: log-distance path loss,
+	// per-receiver carrier sensing, SINR capture.
+	Geometry = channel.Geometry
+	// BSSSpec declares one BSS of a multi-BSS layout (WithBSSLayout).
+	BSSSpec = node.BSSSpec
+)
+
+// DefaultGeometry returns the paper's indoor spatial PHY constants
+// with an 802.11-style -82 dBm carrier-sense threshold.
+func DefaultGeometry() *Geometry { return channel.DefaultGeometry() }
+
+// DegenerateGeometry returns the spatial configuration that reproduces
+// the scalar channel exactly regardless of positions — the oracle
+// geometry for differential testing.
+func DegenerateGeometry() *Geometry { return channel.DegenerateGeometry() }
+
+// TopologyNames lists registered topology names, sorted — the
+// vocabulary of the campaign topology axis.
+func TopologyNames() []string { return scenario.TopologyNames() }
+
+// TopologyOption returns a single scenario option applying the named
+// topology, and whether the name is registered.
+func TopologyOption(name string) (ScenarioOption, bool) { return scenario.TopologyOption(name) }
+
+// RegisterTopology names a topology built from opts for the campaign
+// topology axis; registering an existing name replaces it.
+func RegisterTopology(name, desc string, opts ...ScenarioOption) {
+	scenario.RegisterTopology(name, desc, opts...)
+}
 
 // RateStats is one rate's learned state in a Minstrel adapter
 // (see Network.APMinstrelStats / Network.ClientMinstrelStats and
